@@ -1,0 +1,145 @@
+// Command padcsim runs the PADC reproduction: individual simulations or
+// whole paper experiments.
+//
+// Usage:
+//
+//	padcsim -list                             # benchmarks and experiment ids
+//	padcsim -exp fig16 [-full]                # regenerate a paper figure/table
+//	padcsim -bench swim,art -policy padc      # simulate a workload mix
+//	padcsim -exp all [-full]                  # everything (slow with -full)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"padc"
+)
+
+func main() {
+	var (
+		list    = flag.Bool("list", false, "list benchmarks and experiment ids")
+		expID   = flag.String("exp", "", "experiment id (fig1, fig16, tab8, ...) or 'all'")
+		full    = flag.Bool("full", false, "paper-scale workload counts (slow)")
+		bench   = flag.String("bench", "", "comma-separated benchmark names, one per core")
+		policy  = flag.String("policy", "padc", "no-pref|demand-first|equal|prefetch-first|aps|padc|padc-rank")
+		pf      = flag.String("prefetcher", "stream", "none|stream|stride|cdc|markov")
+		insts   = flag.Uint64("insts", 0, "instructions per core (0 = default)")
+		cores   = flag.Int("cores", 0, "cores to provision (0 = number of benchmarks)")
+		verbose = flag.Bool("v", false, "per-core details")
+	)
+	flag.Parse()
+
+	switch {
+	case *list:
+		fmt.Println("benchmarks:")
+		for _, b := range padc.Benchmarks() {
+			fmt.Printf("  %s\n", b)
+		}
+		fmt.Println("experiments:")
+		for _, id := range padc.ExperimentIDs() {
+			fmt.Printf("  %s\n", id)
+		}
+	case *expID == "all":
+		for _, id := range padc.ExperimentIDs() {
+			out, err := padc.Experiment(id, *full)
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Print(out)
+		}
+	case *expID != "":
+		out, err := padc.Experiment(*expID, *full)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Print(out)
+	case *bench != "":
+		names := strings.Split(*bench, ",")
+		n := *cores
+		if n == 0 {
+			n = len(names)
+		}
+		cfg := padc.DefaultSystem(n)
+		if *insts > 0 {
+			cfg.TargetInsts = *insts
+		}
+		if err := applyPolicy(&cfg, *policy); err != nil {
+			fatal(err)
+		}
+		if err := applyPrefetcher(&cfg, *pf); err != nil {
+			fatal(err)
+		}
+		res, err := padc.Run(cfg, names)
+		if err != nil {
+			fatal(err)
+		}
+		report(res, *verbose)
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func applyPolicy(cfg *padc.SystemConfig, s string) error {
+	switch s {
+	case "no-pref":
+		cfg.Prefetcher = padc.NoPrefetcher
+	case "demand-first":
+		cfg.Policy, cfg.APD = padc.DemandFirst, false
+	case "equal":
+		cfg.Policy, cfg.APD = padc.DemandPrefEqual, false
+	case "prefetch-first":
+		cfg.Policy, cfg.APD = padc.PrefetchFirst, false
+	case "aps":
+		cfg.Policy, cfg.APD = padc.APS, false
+	case "padc":
+		cfg.Policy, cfg.APD = padc.APS, true
+	case "padc-rank":
+		cfg.Policy, cfg.APD = padc.APSRank, true
+	default:
+		return fmt.Errorf("unknown policy %q", s)
+	}
+	return nil
+}
+
+func applyPrefetcher(cfg *padc.SystemConfig, s string) error {
+	switch s {
+	case "none":
+		cfg.Prefetcher = padc.NoPrefetcher
+	case "stream":
+		cfg.Prefetcher = padc.Stream
+	case "stride":
+		cfg.Prefetcher = padc.Stride
+	case "cdc":
+		cfg.Prefetcher = padc.CDC
+	case "markov":
+		cfg.Prefetcher = padc.Markov
+	default:
+		return fmt.Errorf("unknown prefetcher %q", s)
+	}
+	return nil
+}
+
+func report(res padc.Result, verbose bool) {
+	fmt.Printf("cycles: %d\n", res.Cycles)
+	fmt.Printf("bus traffic (lines): demand=%d useful-pref=%d useless-pref=%d total=%d\n",
+		res.BusDemand, res.BusUseful, res.BusUseless, res.BusTotal())
+	fmt.Printf("row-hit rate: %.1f%%  RBHU: %.1f%%  dropped prefetches: %d\n",
+		res.RowHitRate*100, res.RBHU*100, res.Dropped)
+	for _, c := range res.Cores {
+		fmt.Printf("  %-12s IPC=%.3f MPKI=%.2f SPL=%.1f", c.Benchmark, c.IPC, c.MPKI, c.SPL)
+		if verbose {
+			fmt.Printf(" ACC=%.1f%% COV=%.1f%% sent=%d dropped=%d",
+				c.PrefAccuracy*100, c.PrefCoverage*100, c.PrefSent, c.PrefDropped)
+		}
+		fmt.Println()
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "padcsim:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,49 @@
+// Quickstart: simulate one prefetch-friendly benchmark on the single-core
+// baseline under three memory controllers — the rigid demand-first and
+// demand-prefetch-equal policies and the paper's PADC — and print the
+// metrics that distinguish them.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"padc"
+)
+
+func main() {
+	const bench = "libquantum"
+	const insts = 400_000
+
+	type variant struct {
+		name string
+		mod  func(*padc.SystemConfig)
+	}
+	variants := []variant{
+		{"no-pref", func(c *padc.SystemConfig) { c.Prefetcher = padc.NoPrefetcher }},
+		{"demand-first", func(c *padc.SystemConfig) { c.Policy, c.APD = padc.DemandFirst, false }},
+		{"demand-pref-equal", func(c *padc.SystemConfig) { c.Policy, c.APD = padc.DemandPrefEqual, false }},
+		{"PADC (APS+APD)", func(c *padc.SystemConfig) { c.Policy, c.APD = padc.APS, true }},
+	}
+
+	fmt.Printf("benchmark %s, %d instructions, single-core baseline\n\n", bench, insts)
+	fmt.Printf("%-18s %8s %8s %8s %10s %8s\n", "controller", "IPC", "MPKI", "RBH%", "bus lines", "dropped")
+	var base float64
+	for _, v := range variants {
+		cfg := padc.DefaultSystem(1)
+		cfg.TargetInsts = insts
+		v.mod(&cfg)
+		res, err := padc.Run(cfg, []string{bench})
+		if err != nil {
+			log.Fatal(err)
+		}
+		c := res.Cores[0]
+		fmt.Printf("%-18s %8.3f %8.2f %8.1f %10d %8d\n",
+			v.name, c.IPC, c.MPKI, res.RowHitRate*100, res.BusTotal(), res.Dropped)
+		if v.name == "no-pref" {
+			base = c.IPC
+		} else if base > 0 {
+			fmt.Printf("%-18s %8.2fx vs no prefetching\n", "", c.IPC/base)
+		}
+	}
+}

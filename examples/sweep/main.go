@@ -1,0 +1,23 @@
+// Sweep regenerates a miniature of the paper's Figure 6 — single-core
+// normalized IPC of every scheduling policy across a benchmark spread —
+// directly through the experiment API, then prints the PADC hardware-cost
+// table (Tables 1–2).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"padc"
+)
+
+func main() {
+	for _, id := range []string{"fig6", "tab1"} {
+		out, err := padc.Experiment(id, false)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Print(out)
+	}
+	fmt.Println("Run `padcsim -exp all -full` for every figure and table at paper scale.")
+}

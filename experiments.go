@@ -1,0 +1,74 @@
+package padc
+
+import (
+	"fmt"
+	"strings"
+
+	"padc/internal/exp"
+)
+
+// experimentRegistry maps experiment ids (the paper's figure/table
+// numbers) to their runners. See DESIGN.md for the per-experiment index.
+var experimentRegistry = map[string]func(sc exp.Scale) []*exp.Table{
+	"fig1": func(sc exp.Scale) []*exp.Table { return []*exp.Table{exp.Fig1(sc)} },
+	"fig2": func(sc exp.Scale) []*exp.Table { return []*exp.Table{exp.Fig2()} },
+	"fig4": func(sc exp.Scale) []*exp.Table {
+		h, tr := exp.Fig4(sc)
+		return []*exp.Table{h, tr}
+	},
+	"fig6":  func(sc exp.Scale) []*exp.Table { return []*exp.Table{exp.Fig6(sc, sc.Insts >= 400_000)} },
+	"fig7":  func(sc exp.Scale) []*exp.Table { return []*exp.Table{exp.Fig7(sc)} },
+	"fig8":  func(sc exp.Scale) []*exp.Table { return []*exp.Table{exp.Fig8(sc)} },
+	"tab5":  func(sc exp.Scale) []*exp.Table { return []*exp.Table{exp.Table5(sc, sc.Insts >= 400_000)} },
+	"tab7":  func(sc exp.Scale) []*exp.Table { return []*exp.Table{exp.Table7(sc)} },
+	"fig9":  func(sc exp.Scale) []*exp.Table { return []*exp.Table{exp.Fig9(sc)} },
+	"fig10": func(sc exp.Scale) []*exp.Table { return []*exp.Table{exp.Fig10(sc)} },
+	"fig12": func(sc exp.Scale) []*exp.Table { return []*exp.Table{exp.Fig12(sc)} },
+	"fig14": func(sc exp.Scale) []*exp.Table { return []*exp.Table{exp.Fig14(sc)} },
+	"tab8":  func(sc exp.Scale) []*exp.Table { return []*exp.Table{exp.Table8(sc)} },
+	"tab9":  func(sc exp.Scale) []*exp.Table { return []*exp.Table{exp.Table9("libquantum", sc)} },
+	"tab10": func(sc exp.Scale) []*exp.Table { return []*exp.Table{exp.Table9("milc", sc)} },
+	"fig16": func(sc exp.Scale) []*exp.Table { return []*exp.Table{exp.Fig16(sc)} },
+	"fig17": func(sc exp.Scale) []*exp.Table { return []*exp.Table{exp.Fig17(sc)} },
+	"fig19": func(sc exp.Scale) []*exp.Table { return []*exp.Table{exp.Fig19(4, sc)} },
+	"fig20": func(sc exp.Scale) []*exp.Table { return []*exp.Table{exp.Fig19(8, sc)} },
+	"fig21": func(sc exp.Scale) []*exp.Table { return []*exp.Table{exp.Fig21(4, sc)} },
+	"fig22": func(sc exp.Scale) []*exp.Table { return []*exp.Table{exp.Fig21(8, sc)} },
+	"fig23": func(sc exp.Scale) []*exp.Table { return []*exp.Table{exp.Fig23(sc)} },
+	"fig24": func(sc exp.Scale) []*exp.Table { return []*exp.Table{exp.Fig24(sc)} },
+	"fig25": func(sc exp.Scale) []*exp.Table { return []*exp.Table{exp.Fig25(sc)} },
+	"fig26": func(sc exp.Scale) []*exp.Table { return []*exp.Table{exp.Fig26(4, sc)} },
+	"fig27": func(sc exp.Scale) []*exp.Table { return []*exp.Table{exp.Fig26(8, sc)} },
+	"fig28": func(sc exp.Scale) []*exp.Table { return []*exp.Table{exp.Fig28(sc)} },
+	"fig29": func(sc exp.Scale) []*exp.Table { return []*exp.Table{exp.Fig29(sc)} },
+	"fig31": func(sc exp.Scale) []*exp.Table { return []*exp.Table{exp.Fig31(sc)} },
+	"fig32": func(sc exp.Scale) []*exp.Table { return []*exp.Table{exp.Fig32(sc)} },
+	"tab1":  func(exp.Scale) []*exp.Table { return []*exp.Table{exp.Table1()} },
+	// Ablations beyond the paper: design-choice studies DESIGN.md calls out.
+	"abl-drop": func(sc exp.Scale) []*exp.Table { return []*exp.Table{exp.AblationDropThreshold(sc)} },
+	"abl-prom": func(sc exp.Scale) []*exp.Table { return []*exp.Table{exp.AblationPromotionThreshold(sc)} },
+	"abl-map":  func(sc exp.Scale) []*exp.Table { return []*exp.Table{exp.AblationAddressMapping(sc)} },
+}
+
+// ExperimentIDs lists every reproducible figure/table id.
+func ExperimentIDs() []string { return sortedKeys(experimentRegistry) }
+
+// Experiment regenerates the given paper figure or table and returns it
+// rendered as aligned text. full selects the paper-scale workload counts
+// (slow); otherwise a quick scale is used.
+func Experiment(id string, full bool) (string, error) {
+	runner, ok := experimentRegistry[id]
+	if !ok {
+		return "", fmt.Errorf("padc: unknown experiment %q (known: %s)", id, strings.Join(ExperimentIDs(), ", "))
+	}
+	sc := exp.Quick()
+	if full {
+		sc = exp.Full()
+	}
+	var b strings.Builder
+	for _, t := range runner(sc) {
+		b.WriteString(t.String())
+		b.WriteByte('\n')
+	}
+	return b.String(), nil
+}

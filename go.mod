@@ -1,0 +1,3 @@
+module padc
+
+go 1.22

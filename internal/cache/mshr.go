@@ -1,0 +1,68 @@
+package cache
+
+// MSHR is a miss-status holding register file for one core's last-level
+// cache. Each entry tracks one outstanding line fill; demand loads waiting
+// on the line are represented by an opaque waiter count owned by the core
+// model. Prefetches also allocate entries (the PADC paper drops a prefetch
+// by invalidating its MSHR entry before removing it from the memory
+// request buffer).
+type MSHR struct {
+	capacity int
+	entries  map[uint64]*MSHREntry
+
+	// Stats.
+	Allocs     uint64
+	FullStalls uint64 // allocation attempts rejected because the file was full
+}
+
+// MSHREntry tracks one outstanding miss.
+type MSHREntry struct {
+	LineAddr uint64
+	Prefetch bool // still a pure prefetch (no demand has merged into it)
+	// Waiters identifies the demand loads blocked on this fill as
+	// (core, sequence) pairs packed by the simulator.
+	Waiters []Waiter
+}
+
+// Waiter identifies one load blocked on a fill.
+type Waiter struct {
+	Core int
+	Seq  uint64
+}
+
+// NewMSHR builds an MSHR file with the given number of entries.
+func NewMSHR(capacity int) *MSHR {
+	return &MSHR{capacity: capacity, entries: make(map[uint64]*MSHREntry, capacity)}
+}
+
+// Capacity returns the entry count the file was built with.
+func (m *MSHR) Capacity() int { return m.capacity }
+
+// Len returns the number of outstanding misses.
+func (m *MSHR) Len() int { return len(m.entries) }
+
+// Full reports whether no further misses can be tracked.
+func (m *MSHR) Full() bool { return len(m.entries) >= m.capacity }
+
+// Lookup returns the outstanding entry for lineAddr, or nil.
+func (m *MSHR) Lookup(lineAddr uint64) *MSHREntry { return m.entries[lineAddr] }
+
+// Allocate creates an entry for lineAddr. It returns nil if the file is
+// full or the line is already outstanding (callers merge via Lookup).
+func (m *MSHR) Allocate(lineAddr uint64, prefetch bool) *MSHREntry {
+	if m.Full() {
+		m.FullStalls++
+		return nil
+	}
+	if _, ok := m.entries[lineAddr]; ok {
+		return nil
+	}
+	e := &MSHREntry{LineAddr: lineAddr, Prefetch: prefetch}
+	m.entries[lineAddr] = e
+	m.Allocs++
+	return e
+}
+
+// Release removes the entry for lineAddr (fill completed or prefetch
+// dropped). It is a no-op if the line is not outstanding.
+func (m *MSHR) Release(lineAddr uint64) { delete(m.entries, lineAddr) }

@@ -1,0 +1,93 @@
+package core
+
+import (
+	"fmt"
+	"math/bits"
+	"strings"
+)
+
+// HardwareCost reproduces the paper's §4.4 storage cost model (Tables 1
+// and 2): the bit fields PADC adds to each cache line, per-core counter,
+// and memory request buffer entry.
+type HardwareCost struct {
+	Cores        int
+	CacheLines   uint64 // last-level cache lines per core
+	BufferSlots  int    // memory request buffer entries (all controllers)
+	L2CacheBytes uint64 // per-core L2 data capacity, for the fraction row
+}
+
+// CostItem is one row of Table 1/2.
+type CostItem struct {
+	Group string // "accuracy", "aps", "apd"
+	Field string
+	Bits  uint64
+}
+
+// Items returns every bit field with its total cost, mirroring Table 1:
+//
+//	P    1 bit  x (cache lines x cores + buffer entries)
+//	PSC  16 bit x cores
+//	PUC  16 bit x cores
+//	PAR   8 bit x cores
+//	U     1 bit x buffer entries
+//	ID   log2(cores) bits x buffer entries
+//	AGE  10 bit x buffer entries
+func (h HardwareCost) Items() []CostItem {
+	idBits := uint64(bits.Len(uint(h.Cores - 1)))
+	if h.Cores <= 1 {
+		idBits = 1
+	}
+	n := uint64(h.BufferSlots)
+	return []CostItem{
+		{"accuracy", "P", h.CacheLines*uint64(h.Cores) + n},
+		{"accuracy", "PSC", uint64(h.Cores) * 16},
+		{"accuracy", "PUC", uint64(h.Cores) * 16},
+		{"accuracy", "PAR", uint64(h.Cores) * 8},
+		{"aps", "U", n},
+		{"apd", "ID", n * idBits},
+		{"apd", "AGE", n * 10},
+	}
+}
+
+// TotalBits returns the full PADC storage cost in bits.
+func (h HardwareCost) TotalBits() uint64 {
+	var t uint64
+	for _, it := range h.Items() {
+		t += it.Bits
+	}
+	return t
+}
+
+// TotalBitsWithoutP returns the cost when the processor already maintains
+// prefetch bits in its caches (the paper's 1,824-bit figure).
+func (h HardwareCost) TotalBitsWithoutP() uint64 {
+	var t uint64
+	for _, it := range h.Items() {
+		if it.Field != "P" {
+			t += it.Bits
+		}
+	}
+	return t
+}
+
+// FractionOfL2 returns the total cost as a fraction of aggregate L2 data
+// capacity (the paper reports 0.2% for its 4-core baseline).
+func (h HardwareCost) FractionOfL2() float64 {
+	den := float64(h.L2CacheBytes) * 8 * float64(h.Cores)
+	if den == 0 {
+		return 0
+	}
+	return float64(h.TotalBits()) / den
+}
+
+// String renders the cost table.
+func (h HardwareCost) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-9s %-5s %12s\n", "group", "field", "bits")
+	for _, it := range h.Items() {
+		fmt.Fprintf(&b, "%-9s %-5s %12d\n", it.Group, it.Field, it.Bits)
+	}
+	fmt.Fprintf(&b, "total %d bits (%.2f KB), %.3f%% of L2\n",
+		h.TotalBits(), float64(h.TotalBits())/8/1024, h.FractionOfL2()*100)
+	return b.String()
+}

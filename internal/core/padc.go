@@ -1,0 +1,173 @@
+// Package core implements the paper's primary contribution: the
+// Prefetch-Aware DRAM Controller's adaptive machinery. It measures each
+// core's prefetch accuracy over fixed intervals (§4.1), exposes the
+// criticality/urgency predicates Adaptive Prefetch Scheduling needs
+// (§4.2), selects the dynamic drop threshold Adaptive Prefetch Dropping
+// uses (§4.3, Table 6), and models the hardware storage cost (§4.4,
+// Tables 1–2).
+package core
+
+import "fmt"
+
+// Config holds the PADC knobs. Zero values fall back to the paper's
+// evaluation settings: 85% promotion threshold, 100K-cycle accuracy
+// interval, and the Table 6 drop-threshold ladder.
+type Config struct {
+	PromotionThreshold float64
+	IntervalCycles     uint64
+	DropLadder         []DropLevel
+
+	// Mechanism toggles for ablations. In the full PADC all three are on;
+	// APS alone is EnableAPD=false; the §6.3.4 no-urgency ablation clears
+	// EnableUrgency.
+	EnableAPS     bool
+	EnableAPD     bool
+	EnableUrgency bool
+}
+
+// DropLevel maps an accuracy band to an APD drop threshold.
+type DropLevel struct {
+	AccuracyBelow float64 // band upper bound (exclusive except the last)
+	Cycles        uint64
+}
+
+// DefaultDropLadder returns Table 6: accuracy 0–10% drops at 100 cycles,
+// 10–30% at 1 500, 30–70% at 50 000, 70–100% at 100 000.
+func DefaultDropLadder() []DropLevel {
+	return []DropLevel{
+		{AccuracyBelow: 0.10, Cycles: 100},
+		{AccuracyBelow: 0.30, Cycles: 1_500},
+		{AccuracyBelow: 0.70, Cycles: 50_000},
+		{AccuracyBelow: 1.01, Cycles: 100_000},
+	}
+}
+
+// DefaultConfig returns the paper's full PADC configuration.
+func DefaultConfig() Config {
+	return Config{
+		PromotionThreshold: 0.85,
+		IntervalCycles:     100_000,
+		DropLadder:         DefaultDropLadder(),
+		EnableAPS:          true,
+		EnableAPD:          true,
+		EnableUrgency:      true,
+	}
+}
+
+func (c Config) withDefaults() Config {
+	def := DefaultConfig()
+	if c.PromotionThreshold == 0 {
+		c.PromotionThreshold = def.PromotionThreshold
+	}
+	if c.IntervalCycles == 0 {
+		c.IntervalCycles = def.IntervalCycles
+	}
+	if c.DropLadder == nil {
+		c.DropLadder = def.DropLadder
+	}
+	return c
+}
+
+// coreMeter is one core's accuracy state: the PSC/PUC counters of the
+// current interval and the PAR computed from the previous one.
+type coreMeter struct {
+	psc uint64 // Prefetch Sent Counter
+	puc uint64 // Prefetch Used Counter
+	par float64
+	// everSent distinguishes "no prefetching yet" (treated as accurate,
+	// so cold prefetchers are not penalized) from measured inaccuracy.
+	everSent bool
+}
+
+// PADC is the adaptive controller state shared by APS and APD across all
+// memory controllers in the system.
+type PADC struct {
+	cfg    Config
+	meters []coreMeter
+}
+
+// New builds PADC state for ncores cores.
+func New(ncores int, cfg Config) *PADC {
+	p := &PADC{cfg: cfg.withDefaults(), meters: make([]coreMeter, ncores)}
+	for i := range p.meters {
+		p.meters[i].par = 1 // optimistic until the first interval elapses
+	}
+	return p
+}
+
+// Config returns the effective configuration after defaulting.
+func (p *PADC) Config() Config { return p.cfg }
+
+// NotePrefetchSent increments the core's PSC (a prefetch entered the
+// memory request buffer).
+func (p *PADC) NotePrefetchSent(core int) {
+	p.meters[core].psc++
+	p.meters[core].everSent = true
+}
+
+// NotePrefetchUsed increments the core's PUC (a prefetched line was hit by
+// a demand, or a demand matched an in-buffer prefetch).
+func (p *PADC) NotePrefetchUsed(core int) { p.meters[core].puc++ }
+
+// EndInterval recomputes each core's PAR from the interval's counters and
+// resets them (§4.1). Cores that sent nothing keep their previous PAR.
+func (p *PADC) EndInterval() {
+	for i := range p.meters {
+		m := &p.meters[i]
+		if m.psc > 0 {
+			m.par = float64(m.puc) / float64(m.psc)
+			// PUC can briefly exceed PSC across interval boundaries (a
+			// prefetch sent late in one interval is used in the next);
+			// clamp like the paper's saturating PAR register would.
+			if m.par > 1 {
+				m.par = 1
+			}
+		}
+		m.psc, m.puc = 0, 0
+	}
+}
+
+// Accuracy returns the core's PAR from the last completed interval.
+func (p *PADC) Accuracy(core int) float64 { return p.meters[core].par }
+
+// PrefetchCritical implements memctrl.CoreState: a core's prefetches are
+// critical when its measured accuracy meets the promotion threshold.
+func (p *PADC) PrefetchCritical(core int) bool {
+	if !p.cfg.EnableAPS {
+		return false
+	}
+	return p.meters[core].par >= p.cfg.PromotionThreshold
+}
+
+// UrgencyEnabled implements memctrl.CoreState.
+func (p *PADC) UrgencyEnabled() bool { return p.cfg.EnableUrgency }
+
+// DropThreshold returns the APD age limit for the core's prefetches under
+// its current measured accuracy. It returns ^uint64(0) when APD is off.
+func (p *PADC) DropThreshold(core int) uint64 {
+	if !p.cfg.EnableAPD {
+		return ^uint64(0)
+	}
+	par := p.meters[core].par
+	for _, l := range p.cfg.DropLadder {
+		if par < l.AccuracyBelow {
+			return l.Cycles
+		}
+	}
+	return p.cfg.DropLadder[len(p.cfg.DropLadder)-1].Cycles
+}
+
+// IntervalCycles returns the accuracy sampling interval.
+func (p *PADC) IntervalCycles() uint64 { return p.cfg.IntervalCycles }
+
+// String summarizes current per-core accuracy, for debugging output.
+func (p *PADC) String() string {
+	s := "PADC["
+	for i := range p.meters {
+		if i > 0 {
+			s += " "
+		}
+		s += fmt.Sprintf("c%d:%.0f%%", i, p.meters[i].par*100)
+	}
+	return s + "]"
+}

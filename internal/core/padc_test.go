@@ -1,0 +1,131 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestAccuracyMetering(t *testing.T) {
+	p := New(2, Config{EnableAPS: true, EnableAPD: true, EnableUrgency: true})
+	// Optimistic before any measurement.
+	if !p.PrefetchCritical(0) {
+		t.Fatal("cold PAR should be optimistic")
+	}
+	for i := 0; i < 10; i++ {
+		p.NotePrefetchSent(0)
+	}
+	for i := 0; i < 9; i++ {
+		p.NotePrefetchUsed(0)
+	}
+	for i := 0; i < 10; i++ {
+		p.NotePrefetchSent(1)
+	}
+	p.NotePrefetchUsed(1)
+	p.EndInterval()
+	if got := p.Accuracy(0); got != 0.9 {
+		t.Fatalf("core 0 PAR=%v", got)
+	}
+	if got := p.Accuracy(1); got != 0.1 {
+		t.Fatalf("core 1 PAR=%v", got)
+	}
+	if !p.PrefetchCritical(0) || p.PrefetchCritical(1) {
+		t.Fatal("promotion threshold misapplied")
+	}
+}
+
+func TestIntervalResetAndRetention(t *testing.T) {
+	p := New(1, Config{EnableAPS: true})
+	p.NotePrefetchSent(0)
+	p.EndInterval()
+	if p.Accuracy(0) != 0 {
+		t.Fatalf("0 used / 1 sent should give PAR 0, got %v", p.Accuracy(0))
+	}
+	// An interval with no prefetches keeps the previous PAR.
+	p.EndInterval()
+	if p.Accuracy(0) != 0 {
+		t.Fatal("idle interval should retain PAR")
+	}
+}
+
+func TestPARClamped(t *testing.T) {
+	p := New(1, Config{EnableAPS: true})
+	p.NotePrefetchSent(0)
+	// Cross-interval uses can push PUC above PSC; PAR must clamp at 1.
+	p.NotePrefetchUsed(0)
+	p.NotePrefetchUsed(0)
+	p.NotePrefetchUsed(0)
+	p.EndInterval()
+	if p.Accuracy(0) != 1 {
+		t.Fatalf("PAR should clamp to 1, got %v", p.Accuracy(0))
+	}
+}
+
+func TestDropThresholdLadder(t *testing.T) {
+	p := New(1, DefaultConfig())
+	set := func(used, sent int) {
+		for i := 0; i < sent; i++ {
+			p.NotePrefetchSent(0)
+		}
+		for i := 0; i < used; i++ {
+			p.NotePrefetchUsed(0)
+		}
+		p.EndInterval()
+	}
+	cases := []struct {
+		used, sent int
+		want       uint64
+	}{
+		{1, 100, 100},       // 1% -> 100 cycles
+		{20, 100, 1_500},    // 20% -> 1,500
+		{50, 100, 50_000},   // 50% -> 50,000
+		{90, 100, 100_000},  // 90% -> 100,000
+		{100, 100, 100_000}, // 100% stays at the top band
+	}
+	for _, c := range cases {
+		set(c.used, c.sent)
+		if got := p.DropThreshold(0); got != c.want {
+			t.Errorf("acc %d%%: drop threshold %d, want %d", c.used, got, c.want)
+		}
+	}
+}
+
+func TestDisabledMechanisms(t *testing.T) {
+	p := New(1, Config{EnableAPS: false, EnableAPD: false})
+	if p.PrefetchCritical(0) {
+		t.Fatal("APS disabled should never promote")
+	}
+	if p.DropThreshold(0) != ^uint64(0) {
+		t.Fatal("APD disabled should never drop")
+	}
+	if p.UrgencyEnabled() {
+		t.Fatal("urgency flag wrong")
+	}
+}
+
+func TestHardwareCostMatchesPaper(t *testing.T) {
+	// The paper's 4-core system: 8192 L2 lines per core, 128 buffer slots.
+	h := HardwareCost{Cores: 4, CacheLines: 8192, BufferSlots: 128, L2CacheBytes: 512 << 10}
+	if got := h.TotalBits(); got != 34720 {
+		t.Fatalf("total bits %d, paper says 34,720", got)
+	}
+	if got := h.TotalBitsWithoutP(); got != 1824 {
+		t.Fatalf("without P bits %d, paper says 1,824", got)
+	}
+	frac := h.FractionOfL2()
+	if frac < 0.001 || frac > 0.003 {
+		t.Fatalf("fraction of L2 %.4f, paper says ~0.2%%", frac)
+	}
+}
+
+func TestHardwareCostMonotonic(t *testing.T) {
+	f := func(cores8 uint8, lines uint16, slots uint8) bool {
+		cores := int(cores8%8) + 1
+		h := HardwareCost{Cores: cores, CacheLines: uint64(lines) + 1, BufferSlots: int(slots) + 1}
+		bigger := h
+		bigger.BufferSlots++
+		return bigger.TotalBits() > h.TotalBits() && h.TotalBitsWithoutP() < h.TotalBits()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,246 @@
+// Package dram models a DDR3-like SDRAM subsystem at the granularity the
+// MICRO-41 PADC paper schedules it: per-bank row buffers with row-hit /
+// row-closed / row-conflict latencies, a shared data bus per channel, and
+// one or more independent channels (memory controllers).
+//
+// The model is request-level: a read request scheduled to a bank occupies
+// that bank for the full precharge/activate/CAS sequence its row-buffer
+// state requires, and reserves the channel's data bus for the burst at the
+// end of the access. Banks on a channel overlap freely except for the bus;
+// this preserves the bank-level parallelism and the ~3x row-hit versus
+// row-conflict latency asymmetry that every scheduling policy in the paper
+// exploits.
+package dram
+
+import "fmt"
+
+// Timing holds DRAM timing parameters in processor cycles. The defaults
+// correspond to the paper's DDR3-1333 part (15ns per command) on a 4GHz
+// core: tRP = tRCD = CL = 60 cycles and a 64B line occupying the 16B-wide
+// DDR bus for 12 cycles. A row-hit therefore costs 72 cycles and a
+// row-conflict 192 — the ~1:3 asymmetry the paper's scheduling effects
+// depend on — and peak bandwidth is one line per 12 cycles.
+type Timing struct {
+	TRP   uint64 // precharge latency
+	TRCD  uint64 // activate (row open) latency
+	CL    uint64 // read/write (CAS) latency
+	Burst uint64 // data bus occupancy per cache-line transfer
+}
+
+// DDR3 returns the paper's baseline DDR3-1333 timing.
+func DDR3() Timing {
+	return Timing{TRP: 60, TRCD: 60, CL: 60, Burst: 12}
+}
+
+// RowState classifies the row-buffer state a request finds at its bank.
+type RowState int
+
+const (
+	RowHit RowState = iota
+	RowClosed
+	RowConflict
+)
+
+func (s RowState) String() string {
+	switch s {
+	case RowHit:
+		return "row-hit"
+	case RowClosed:
+		return "row-closed"
+	case RowConflict:
+		return "row-conflict"
+	default:
+		return fmt.Sprintf("RowState(%d)", int(s))
+	}
+}
+
+// Latency returns the total access latency a request experiences when it
+// finds the bank in state s.
+func (t Timing) Latency(s RowState) uint64 {
+	switch s {
+	case RowHit:
+		return t.CL + t.Burst
+	case RowClosed:
+		return t.TRCD + t.CL + t.Burst
+	default:
+		return t.TRP + t.TRCD + t.CL + t.Burst
+	}
+}
+
+// Config describes the DRAM geometry and management policies.
+type Config struct {
+	Channels    int    // independent memory controllers
+	Banks       int    // banks per channel
+	RowBytes    uint64 // row-buffer size per bank
+	LineBytes   uint64 // cache-line (transfer) size
+	Timing      Timing
+	ClosedRow   bool // closed-row policy instead of open-row
+	Permutation bool // permutation-based bank index remapping (Zhang et al.)
+	TickEvery   uint64
+}
+
+// DefaultConfig is the paper's baseline: one channel, 8 banks, 4KB rows,
+// 64B lines, open-row policy.
+func DefaultConfig() Config {
+	return Config{
+		Channels:  1,
+		Banks:     8,
+		RowBytes:  4096,
+		LineBytes: 64,
+		Timing:    DDR3(),
+		TickEvery: 4, // one scheduling decision per DRAM bus cycle at 4GHz
+	}
+}
+
+// Validate reports a descriptive error for impossible geometries.
+func (c Config) Validate() error {
+	switch {
+	case c.Channels < 1:
+		return fmt.Errorf("dram: need at least one channel, got %d", c.Channels)
+	case c.Banks < 1 || c.Banks&(c.Banks-1) != 0:
+		return fmt.Errorf("dram: banks must be a power of two, got %d", c.Banks)
+	case c.RowBytes == 0 || c.LineBytes == 0:
+		return fmt.Errorf("dram: row (%d) and line (%d) bytes must be nonzero", c.RowBytes, c.LineBytes)
+	case c.RowBytes%c.LineBytes != 0:
+		return fmt.Errorf("dram: row size %d not a multiple of line size %d", c.RowBytes, c.LineBytes)
+	case c.Channels&(c.Channels-1) != 0:
+		return fmt.Errorf("dram: channels must be a power of two, got %d", c.Channels)
+	}
+	return nil
+}
+
+// LinesPerRow returns the number of cache lines a row buffer caches.
+func (c Config) LinesPerRow() uint64 { return c.RowBytes / c.LineBytes }
+
+// Address is a physical line address decomposed into DRAM coordinates.
+type Address struct {
+	Channel int
+	Bank    int
+	Row     uint64
+	Col     uint64
+}
+
+// Map decomposes a cache-line address (byte address >> log2(LineBytes))
+// into channel, bank, row and column. Consecutive lines walk a row; rows
+// interleave across channels then banks, so streams exploit the row buffer
+// while independent streams spread over banks.
+func (c Config) Map(lineAddr uint64) Address {
+	lpr := c.LinesPerRow()
+	col := lineAddr % lpr
+	rest := lineAddr / lpr
+	ch := int(rest % uint64(c.Channels))
+	rest /= uint64(c.Channels)
+	bank := int(rest % uint64(c.Banks))
+	row := rest / uint64(c.Banks)
+	if c.Permutation {
+		// Permutation-based page interleaving: XOR low row bits into the
+		// bank index to spread row-conflicting addresses across banks.
+		bank = bank ^ int(row%uint64(c.Banks))
+	}
+	return Address{Channel: ch, Bank: bank, Row: row, Col: col}
+}
+
+// Bank is the state of one DRAM bank.
+type Bank struct {
+	OpenRow   int64  // -1 when no row is open (precharged)
+	BusyUntil uint64 // cycle at which the bank can accept a new request
+
+	// Stats.
+	Hits      uint64
+	Closed    uint64
+	Conflicts uint64
+}
+
+// State classifies what a request to row would currently find.
+func (b *Bank) State(row uint64) RowState {
+	switch {
+	case b.OpenRow < 0:
+		return RowClosed
+	case b.OpenRow == int64(row):
+		return RowHit
+	default:
+		return RowConflict
+	}
+}
+
+// Channel is one memory controller's DRAM resources: its banks plus the
+// shared data bus.
+type Channel struct {
+	cfg       Config
+	Banks     []Bank
+	busUntil  uint64 // data bus reserved through this cycle
+	completed uint64
+}
+
+// NewChannel builds the banks for one channel of cfg.
+func NewChannel(cfg Config) *Channel {
+	ch := &Channel{cfg: cfg, Banks: make([]Bank, cfg.Banks)}
+	for i := range ch.Banks {
+		ch.Banks[i].OpenRow = -1
+	}
+	return ch
+}
+
+// Config returns the geometry this channel was built with.
+func (ch *Channel) Config() Config { return ch.cfg }
+
+// BankReady reports whether bank b can accept a request at cycle now.
+func (ch *Channel) BankReady(b int, now uint64) bool {
+	return ch.Banks[b].BusyUntil <= now
+}
+
+// Issue schedules a request to (bank, row) at cycle now and returns the
+// completion cycle (when the line's burst has fully transferred) and the
+// row-buffer state the request found. The caller must have checked
+// BankReady. keepOpen is consulted only under the closed-row policy: it
+// tells the channel whether more row-hit work for this row is pending, in
+// which case the row stays open; otherwise the row is precharged for free
+// after the access (the closed-row policy's hidden precharge).
+func (ch *Channel) Issue(bank int, row, now uint64, keepOpen bool) (finish uint64, state RowState) {
+	b := &ch.Banks[bank]
+	state = b.State(row)
+	lat := ch.cfg.Timing.Latency(state)
+
+	// The burst must win the shared data bus; delay the whole access until
+	// the bus slot at its tail is free.
+	start := now
+	if dataAt := start + lat - ch.cfg.Timing.Burst; dataAt < ch.busUntil {
+		start += ch.busUntil - dataAt
+	}
+	finish = start + lat
+	ch.busUntil = finish
+	b.BusyUntil = finish
+
+	switch state {
+	case RowHit:
+		b.Hits++
+	case RowClosed:
+		b.Closed++
+	default:
+		b.Conflicts++
+	}
+
+	if ch.cfg.ClosedRow && !keepOpen {
+		b.OpenRow = -1
+	} else {
+		b.OpenRow = int64(row)
+	}
+	ch.completed++
+	return finish, state
+}
+
+// Completed returns the number of requests this channel has serviced.
+func (ch *Channel) Completed() uint64 { return ch.completed }
+
+// RowHitRate returns the fraction of serviced requests that were row hits.
+func (ch *Channel) RowHitRate() float64 {
+	var hits, total uint64
+	for i := range ch.Banks {
+		hits += ch.Banks[i].Hits
+		total += ch.Banks[i].Hits + ch.Banks[i].Closed + ch.Banks[i].Conflicts
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(hits) / float64(total)
+}

@@ -1,0 +1,114 @@
+package exp
+
+import (
+	"fmt"
+
+	"padc/internal/core"
+	"padc/internal/memctrl"
+	"padc/internal/sim"
+)
+
+// AblationDropThreshold compares APD's dynamic 4-level drop-threshold
+// ladder (Table 6) against fixed thresholds. The paper argues (§4.3) that
+// a single static threshold either drops useful prefetches of accurate
+// phases (too low) or retains useless ones too long (too high); the
+// dynamic ladder should match or beat every static point on both WS and
+// traffic.
+func AblationDropThreshold(sc Scale) *Table {
+	mk := func(name string, ladder []core.DropLevel) Variant {
+		return Variant{name, func(c *sim.Config) {
+			c.Policy = memctrl.APS
+			c.PADC.EnableAPD = true
+			if ladder != nil {
+				c.PADC.DropLadder = ladder
+			}
+		}}
+	}
+	fixed := func(cycles uint64) []core.DropLevel {
+		return []core.DropLevel{{AccuracyBelow: 1.01, Cycles: cycles}}
+	}
+	variants := []Variant{
+		DemandFirst(),
+		APSOnly(),
+		mk("apd-fixed-100", fixed(100)),
+		mk("apd-fixed-1500", fixed(1_500)),
+		mk("apd-fixed-50K", fixed(50_000)),
+		mk("apd-fixed-100K", fixed(100_000)),
+		mk("apd-dynamic (PADC)", nil),
+	}
+	mixes := Mixes(4, sc.Mixes4)
+	t := &Table{
+		Title:  "Ablation: APD drop-threshold ladder vs fixed thresholds (4-core)",
+		Header: []string{"policy", "WS", "bus(K)", "dropped"},
+	}
+	alone := NewAloneIPC()
+	type acc struct {
+		ws, bus float64
+		drop    uint64
+	}
+	grid := make([][]acc, len(variants))
+	for vi := range grid {
+		grid[vi] = make([]acc, len(mixes))
+	}
+	type job struct{ vi, mi int }
+	var jobs []job
+	for vi := range variants {
+		for mi := range mixes {
+			jobs = append(jobs, job{vi, mi})
+		}
+	}
+	parallel(len(jobs), func(i int) {
+		j := jobs[i]
+		r := RunMix(mixes[j.mi], 4, sc, variants[j.vi], alone, nil)
+		grid[j.vi][j.mi] = acc{r.WS, float64(r.Bus.Total()), r.Dropped}
+	})
+	for vi, v := range variants {
+		var a acc
+		for mi := range mixes {
+			a.ws += grid[vi][mi].ws
+			a.bus += grid[vi][mi].bus
+			a.drop += grid[vi][mi].drop
+		}
+		n := float64(len(mixes))
+		t.Add(v.Name, fmt.Sprintf("%.3f", a.ws/n), fmt.Sprintf("%.1f", a.bus/n/1000),
+			fmt.Sprintf("%d", a.drop/uint64(len(mixes))))
+	}
+	return t
+}
+
+// AblationPromotionThreshold sweeps APS's promotion threshold around the
+// paper's 85%: too low promotes junk to demand priority, too high never
+// promotes and degenerates to demand-first.
+func AblationPromotionThreshold(sc Scale) *Table {
+	var variants []Variant
+	variants = append(variants, DemandFirst(), DemandPrefEqual())
+	for _, th := range []float64{0.25, 0.50, 0.75, 0.85, 0.95} {
+		th := th
+		variants = append(variants, Variant{
+			Name: fmt.Sprintf("aps@%.0f%%", th*100),
+			Apply: func(c *sim.Config) {
+				c.Policy = memctrl.APS
+				c.PADC.PromotionThreshold = th
+				c.PADC.EnableAPD = false
+			},
+		})
+	}
+	points := []sweepPoint{{Label: "WS", Mutate: nil}}
+	return sweepVariantsOverMixesOn(Mixes(4, sc.Mixes4),
+		"Ablation: APS promotion threshold sweep (4-core)", sc, variants, points)
+}
+
+// AblationAddressMapping compares the default row-interleaved bank mapping
+// against permutation-based mapping and a single-bank strawman, isolating
+// how much of each policy's behavior depends on bank-level parallelism.
+func AblationAddressMapping(sc Scale) *Table {
+	points := []sweepPoint{
+		{Label: "8-banks", Mutate: nil},
+		{Label: "8-banks-perm", Mutate: func(c *sim.Config) { c.DRAM.Permutation = true }},
+		{Label: "4-banks", Mutate: func(c *sim.Config) { c.DRAM.Banks = 4 }},
+		{Label: "16-banks", Mutate: func(c *sim.Config) { c.DRAM.Banks = 16 }},
+	}
+	variants := []Variant{DemandFirst(), DemandPrefEqual(), APSOnly(), PADC()}
+	return sweepVariantsOverMixesOn(Mixes(4, sc.Mixes4),
+		"Ablation: bank count and mapping (4-core WS)", sc, variants, points)
+}

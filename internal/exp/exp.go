@@ -1,0 +1,335 @@
+// Package exp contains one runner per figure and table of the paper's
+// evaluation (§6). Each runner builds the simulated systems, executes the
+// workloads, and returns a Table holding the same rows or series the paper
+// plots, so the benchmark harness (bench_test.go) and the padcsim CLI can
+// regenerate every experiment.
+package exp
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+
+	"padc/internal/core"
+	"padc/internal/memctrl"
+	"padc/internal/sim"
+	"padc/internal/stats"
+	"padc/internal/workload"
+)
+
+// Scale controls how much simulation an experiment runs: Quick keeps
+// test/bench latency low, Full approaches the paper's workload counts.
+type Scale struct {
+	Insts  uint64 // instructions per core
+	Mixes2 int    // 2-core workload count (paper: 54)
+	Mixes4 int    // 4-core workload count (paper: 32)
+	Mixes8 int    // 8-core workload count (paper: 21)
+}
+
+// Quick is the scale used by tests and default benches.
+func Quick() Scale { return Scale{Insts: 150_000, Mixes2: 8, Mixes4: 6, Mixes8: 4} }
+
+// Full approaches the paper's scale (use via the CLI; runs take minutes).
+func Full() Scale { return Scale{Insts: 400_000, Mixes2: 54, Mixes4: 32, Mixes8: 21} }
+
+// Table is a rendered experiment result.
+type Table struct {
+	Title  string
+	Header []string
+	Rows   [][]string
+}
+
+// Add appends a row of stringified cells.
+func (t *Table) Add(cells ...string) { t.Rows = append(t.Rows, cells) }
+
+// Addf appends a row where numeric cells are formatted with %.3f.
+func (t *Table) Addf(label string, vals ...float64) {
+	row := []string{label}
+	for _, v := range vals {
+		row = append(row, fmt.Sprintf("%.3f", v))
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+// String renders the table with aligned columns.
+func (t Table) String() string {
+	width := make([]int, 0, len(t.Header))
+	rows := append([][]string{t.Header}, t.Rows...)
+	for _, r := range rows {
+		for i, c := range r {
+			if i >= len(width) {
+				width = append(width, 0)
+			}
+			if len(c) > width[i] {
+				width[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s ==\n", t.Title)
+	for ri, r := range rows {
+		for i, c := range r {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", width[i], c)
+		}
+		b.WriteByte('\n')
+		if ri == 0 {
+			b.WriteString(strings.Repeat("-", sum(width)+2*(len(width)-1)))
+			b.WriteByte('\n')
+		}
+	}
+	return b.String()
+}
+
+func sum(xs []int) int {
+	t := 0
+	for _, x := range xs {
+		t += x
+	}
+	return t
+}
+
+// Variant is one system configuration under test.
+type Variant struct {
+	Name  string
+	Apply func(*sim.Config)
+}
+
+// NoPref disables prefetching entirely.
+func NoPref() Variant {
+	return Variant{"no-pref", func(c *sim.Config) {
+		c.Prefetcher = sim.PFNone
+		c.PADC.EnableAPD = false
+	}}
+}
+
+// DemandFirst is the paper's baseline rigid policy.
+func DemandFirst() Variant {
+	return Variant{"demand-first", func(c *sim.Config) {
+		c.Policy = memctrl.DemandFirst
+		c.PADC.EnableAPD = false
+	}}
+}
+
+// DemandPrefEqual is plain FR-FCFS.
+func DemandPrefEqual() Variant {
+	return Variant{"demand-pref-equal", func(c *sim.Config) {
+		c.Policy = memctrl.DemandPrefEqual
+		c.PADC.EnableAPD = false
+	}}
+}
+
+// PrefetchFirst is the footnote-2 strawman.
+func PrefetchFirst() Variant {
+	return Variant{"prefetch-first", func(c *sim.Config) {
+		c.Policy = memctrl.PrefetchFirst
+		c.PADC.EnableAPD = false
+	}}
+}
+
+// APSOnly enables adaptive scheduling without dropping.
+func APSOnly() Variant {
+	return Variant{"aps-only", func(c *sim.Config) {
+		c.Policy = memctrl.APS
+		c.PADC.EnableAPD = false
+	}}
+}
+
+// PADC is the full mechanism: APS plus APD.
+func PADC() Variant {
+	return Variant{"aps-apd (PADC)", func(c *sim.Config) { c.Policy = memctrl.APS }}
+}
+
+// PADCRank is PADC with the §6.5 shortest-job ranking.
+func PADCRank() Variant {
+	return Variant{"PADC-rank", func(c *sim.Config) { c.Policy = memctrl.APSRank }}
+}
+
+// StandardVariants returns the five configurations most figures compare.
+func StandardVariants() []Variant {
+	return []Variant{NoPref(), DemandFirst(), DemandPrefEqual(), APSOnly(), PADC()}
+}
+
+// baseConfig builds the paper baseline for ncores at the given scale. The
+// default PADC config has both mechanisms on; variants adjust.
+func baseConfig(ncores int, sc Scale) sim.Config {
+	cfg := sim.Baseline(ncores)
+	cfg.TargetInsts = sc.Insts
+	cfg.PADC = core.DefaultConfig()
+	return cfg
+}
+
+// runOne builds and runs a single system; errors surface as panics since
+// experiment configs are statically correct by construction.
+func runOne(cfg sim.Config) stats.Results {
+	res, err := sim.Run(cfg)
+	if err != nil {
+		panic(fmt.Sprintf("exp: %v", err))
+	}
+	return res
+}
+
+// parallel runs n jobs across the machine's cores.
+func parallel(n int, job func(i int)) {
+	workers := runtime.GOMAXPROCS(0)
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			job(i)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				job(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+}
+
+// AloneIPC computes each benchmark's IPC when running alone on the
+// ncores-provisioned system with the demand-first policy (the paper's
+// IPC_alone definition), memoized per provisioning.
+type AloneIPC struct {
+	mu    sync.Mutex
+	cache map[string]float64
+}
+
+// NewAloneIPC returns an empty cache.
+func NewAloneIPC() *AloneIPC { return &AloneIPC{cache: make(map[string]float64)} }
+
+// Get returns IPC_alone for prof under the given provisioning, computing
+// and caching it on first use. mutate optionally applies non-policy system
+// changes (cache size, channels, ...) that must match the together-run.
+func (a *AloneIPC) Get(prof workload.Profile, ncores int, sc Scale, mutate func(*sim.Config)) float64 {
+	key := fmt.Sprintf("%s/%d", prof.Name, ncores)
+	if mutate != nil {
+		key += "/mut"
+	}
+	a.mu.Lock()
+	if v, ok := a.cache[key]; ok {
+		a.mu.Unlock()
+		return v
+	}
+	a.mu.Unlock()
+
+	cfg := baseConfig(ncores, sc)
+	cfg.Policy = memctrl.DemandFirst
+	cfg.PADC.EnableAPD = false
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	cfg.Workload = []workload.Profile{prof}
+	res := runOne(cfg)
+	v := res.PerCore[0].IPC()
+
+	a.mu.Lock()
+	a.cache[key] = v
+	a.mu.Unlock()
+	return v
+}
+
+// MixResult summarizes one multiprogrammed run.
+type MixResult struct {
+	WS, HS, UF float64
+	Bus        stats.BusTraffic
+	Dropped    uint64
+	IS         []float64
+	Res        stats.Results
+}
+
+// RunMix executes mix under variant v on an ncores system and computes the
+// speedup metrics against the demand-first alone baselines.
+func RunMix(mix []workload.Profile, ncores int, sc Scale, v Variant, alone *AloneIPC, mutate func(*sim.Config)) MixResult {
+	cfg := baseConfig(ncores, sc)
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	v.Apply(&cfg)
+	cfg.Workload = append([]workload.Profile(nil), mix...)
+	res := runOne(cfg)
+
+	ipcAlone := make([]float64, len(mix))
+	for i, p := range mix {
+		ipcAlone[i] = alone.Get(p, ncores, sc, mutate)
+	}
+	return MixResult{
+		WS:      stats.WS(res.PerCore, ipcAlone),
+		HS:      stats.HS(res.PerCore, ipcAlone),
+		UF:      stats.UF(res.PerCore, ipcAlone),
+		Bus:     res.Bus,
+		Dropped: res.Dropped,
+		IS:      stats.IndividualSpeedups(res.PerCore, ipcAlone),
+		Res:     res,
+	}
+}
+
+// AverageMixes runs every mix under every variant and returns per-variant
+// averaged WS/HS/UF/traffic — the shape of Figures 9, 16, 17, 19–22.
+func AverageMixes(mixes [][]workload.Profile, ncores int, sc Scale, variants []Variant, mutate func(*sim.Config)) *Table {
+	alone := NewAloneIPC()
+	// Warm the alone cache in parallel first.
+	uniq := map[string]workload.Profile{}
+	for _, m := range mixes {
+		for _, p := range m {
+			uniq[p.Name] = p
+		}
+	}
+	names := make([]string, 0, len(uniq))
+	for n := range uniq {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	parallel(len(names), func(i int) { alone.Get(uniq[names[i]], ncores, sc, mutate) })
+
+	type cell struct{ ws, hs, uf, bus float64 }
+	agg := make([][]cell, len(variants))
+	for vi := range variants {
+		agg[vi] = make([]cell, len(mixes))
+	}
+	type job struct{ vi, mi int }
+	jobs := make([]job, 0, len(variants)*len(mixes))
+	for vi := range variants {
+		for mi := range mixes {
+			jobs = append(jobs, job{vi, mi})
+		}
+	}
+	parallel(len(jobs), func(i int) {
+		j := jobs[i]
+		r := RunMix(mixes[j.mi], ncores, sc, variants[j.vi], alone, mutate)
+		agg[j.vi][j.mi] = cell{r.WS, r.HS, r.UF, float64(r.Bus.Total())}
+	})
+
+	t := &Table{
+		Title:  fmt.Sprintf("%d-core average over %d workloads", ncores, len(mixes)),
+		Header: []string{"policy", "WS", "HS", "UF", "bus(Klines)"},
+	}
+	for vi, v := range variants {
+		var ws, hs, uf, bus float64
+		for _, c := range agg[vi] {
+			ws += c.ws
+			hs += c.hs
+			uf += c.uf
+			bus += c.bus
+		}
+		n := float64(len(mixes))
+		t.Addf(v.Name, ws/n, hs/n, uf/n, bus/n/1000)
+	}
+	return t
+}

@@ -1,0 +1,47 @@
+package exp
+
+import (
+	"strings"
+	"testing"
+)
+
+func tinyScale() Scale { return Scale{Insts: 60_000, Mixes2: 2, Mixes4: 2, Mixes8: 2} }
+
+func TestFig2Shape(t *testing.T) {
+	xF, yF, zF := fig2Run(1) // demand-first
+	xE, yE, zE := fig2Run(0) // demand-pref-equal
+	t.Logf("demand-first: X=%d Y=%d Z=%d | equal: X=%d Y=%d Z=%d", xF, yF, zF, xE, yE, zE)
+	// Demand-first finishes Y first but makes X a conflict; equal finishes
+	// X and Z first as row hits. The all-served makespan is smaller under
+	// equal (the 725 vs 575 contrast).
+	if !(yF < xF && xF < zF) {
+		t.Errorf("demand-first order wrong: X=%d Y=%d Z=%d", xF, yF, zF)
+	}
+	if !(xE < zE && zE < yE) {
+		t.Errorf("equal order wrong: X=%d Y=%d Z=%d", xE, yE, zE)
+	}
+	last := func(a, b, c uint64) uint64 { return max(a, max(b, c)) }
+	if last(xE, yE, zE) >= last(xF, yF, zF) {
+		t.Errorf("equal makespan %d should beat demand-first %d", last(xE, yE, zE), last(xF, yF, zF))
+	}
+}
+
+func TestFig1Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation sweep")
+	}
+	tab := Fig1(tinyScale())
+	t.Logf("\n%s", tab)
+	if len(tab.Rows) != 10 {
+		t.Fatalf("want 10 rows, got %d", len(tab.Rows))
+	}
+}
+
+func TestTable1Cost(t *testing.T) {
+	tab := Table1()
+	out := tab.String()
+	if !strings.Contains(out, "AGE") || !strings.Contains(out, "PSC") {
+		t.Fatalf("missing cost fields:\n%s", out)
+	}
+	t.Logf("\n%s", tab)
+}

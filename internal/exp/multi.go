@@ -1,0 +1,177 @@
+package exp
+
+import (
+	"fmt"
+
+	"padc/internal/core"
+	"padc/internal/memctrl"
+	"padc/internal/sim"
+	"padc/internal/workload"
+)
+
+// mixSeed keeps the randomly-drawn multiprogrammed workloads reproducible.
+const mixSeed = 0x9a7c
+
+// Mixes returns the deterministic workload draw for an n-core experiment.
+func Mixes(ncores, count int) [][]workload.Profile {
+	return workload.Mixes(count, ncores, mixSeed+uint64(ncores))
+}
+
+// Fig9 reproduces Figure 9: average 2-core performance and traffic.
+func Fig9(sc Scale) *Table {
+	t := AverageMixes(Mixes(2, sc.Mixes2), 2, sc, StandardVariants(), nil)
+	t.Title = "Figure 9: " + t.Title
+	return t
+}
+
+// Fig16 reproduces Figure 16: average 4-core performance and traffic.
+func Fig16(sc Scale) *Table {
+	t := AverageMixes(Mixes(4, sc.Mixes4), 4, sc, StandardVariants(), nil)
+	t.Title = "Figure 16: " + t.Title
+	return t
+}
+
+// Fig17 reproduces Figure 17: average 8-core performance and traffic.
+func Fig17(sc Scale) *Table {
+	t := AverageMixes(Mixes(8, sc.Mixes8), 8, sc, StandardVariants(), nil)
+	t.Title = "Figure 17: " + t.Title
+	return t
+}
+
+// caseStudy runs one named 4-core mix under the standard variants and
+// reports per-application speedups plus system metrics (Figures 10–15).
+func caseStudy(title string, names []string, sc Scale) *Table {
+	alone := NewAloneIPC()
+	mix := make([]workload.Profile, len(names))
+	for i, n := range names {
+		mix[i] = workload.MustByName(n)
+	}
+	t := &Table{Title: title}
+	t.Header = append(append([]string{"policy"}, names...), "WS", "HS", "UF", "bus(K)", "dropped")
+	variants := StandardVariants()
+	rows := make([]MixResult, len(variants))
+	parallel(len(variants), func(i int) {
+		rows[i] = RunMix(mix, 4, sc, variants[i], alone, nil)
+	})
+	for i, v := range variants {
+		r := rows[i]
+		cells := []string{v.Name}
+		for _, is := range r.IS {
+			cells = append(cells, fmt.Sprintf("%.3f", is))
+		}
+		cells = append(cells,
+			fmt.Sprintf("%.3f", r.WS), fmt.Sprintf("%.3f", r.HS), fmt.Sprintf("%.2f", r.UF),
+			fmt.Sprintf("%.1f", float64(r.Bus.Total())/1000), fmt.Sprintf("%d", r.Dropped))
+		t.Add(cells...)
+	}
+	return t
+}
+
+// Fig10 reproduces Case Study I (Figures 10–11): four prefetch-friendly
+// applications.
+func Fig10(sc Scale) *Table {
+	return caseStudy("Figures 10-11, case study I: all prefetch-friendly",
+		[]string{"swim", "bwaves", "leslie3d", "soplex"}, sc)
+}
+
+// Fig12 reproduces Case Study II (Figures 12–13): four prefetch-unfriendly
+// applications.
+func Fig12(sc Scale) *Table {
+	return caseStudy("Figures 12-13, case study II: all prefetch-unfriendly",
+		[]string{"art", "galgel", "ammp", "milc"}, sc)
+}
+
+// Fig14 reproduces Case Study III (Figures 14–15): two friendly and two
+// unfriendly applications.
+func Fig14(sc Scale) *Table {
+	return caseStudy("Figures 14-15, case study III: mixed",
+		[]string{"omnetpp", "libquantum", "galgel", "GemsFDTD"}, sc)
+}
+
+// Table8 reproduces Table 8: the effect of the urgency rule on the mixed
+// case study.
+func Table8(sc Scale) *Table {
+	names := []string{"omnetpp", "libquantum", "galgel", "GemsFDTD"}
+	mix := make([]workload.Profile, len(names))
+	for i, n := range names {
+		mix[i] = workload.MustByName(n)
+	}
+	noU := func(on bool, apd bool, label string) Variant {
+		return Variant{label, func(c *sim.Config) {
+			c.Policy = memctrl.APS
+			c.PADC.EnableUrgency = on
+			c.PADC.EnableAPD = apd
+		}}
+	}
+	variants := []Variant{
+		DemandFirst(),
+		noU(false, false, "aps-no-urgent"),
+		noU(true, false, "aps"),
+		noU(false, true, "aps-apd-no-urgent"),
+		noU(true, true, "aps-apd (PADC)"),
+	}
+	alone := NewAloneIPC()
+	rows := make([]MixResult, len(variants))
+	parallel(len(variants), func(i int) { rows[i] = RunMix(mix, 4, sc, variants[i], alone, nil) })
+	t := &Table{Title: "Table 8: effect of prioritizing urgent requests"}
+	t.Header = append(append([]string{"policy"}, names...), "UF", "WS", "HS")
+	for i, v := range variants {
+		r := rows[i]
+		cells := []string{v.Name}
+		for _, is := range r.IS {
+			cells = append(cells, fmt.Sprintf("%.3f", is))
+		}
+		cells = append(cells, fmt.Sprintf("%.2f", r.UF), fmt.Sprintf("%.3f", r.WS), fmt.Sprintf("%.3f", r.HS))
+		t.Add(cells...)
+	}
+	return t
+}
+
+// Table9 reproduces Tables 9 and 10: four identical instances of one
+// application (libquantum for Table 9, milc for Table 10) on the 4-core
+// system.
+func Table9(bench string, sc Scale) *Table {
+	mix := []workload.Profile{
+		workload.MustByName(bench), workload.MustByName(bench),
+		workload.MustByName(bench), workload.MustByName(bench),
+	}
+	alone := NewAloneIPC()
+	variants := StandardVariants()
+	rows := make([]MixResult, len(variants))
+	parallel(len(variants), func(i int) { rows[i] = RunMix(mix, 4, sc, variants[i], alone, nil) })
+	t := &Table{Title: fmt.Sprintf("Tables 9/10: four identical %s instances", bench)}
+	t.Header = []string{"policy", "IS0", "IS1", "IS2", "IS3", "WS", "HS", "UF"}
+	for i, v := range variants {
+		r := rows[i]
+		t.Addf(v.Name, r.IS[0], r.IS[1], r.IS[2], r.IS[3], r.WS, r.HS, r.UF)
+	}
+	return t
+}
+
+// Fig19 reproduces Figures 19 (ncores=4) and 20 (ncores=8): PADC augmented
+// with the shortest-job ranking scheme.
+func Fig19(ncores int, sc Scale) *Table {
+	count := sc.Mixes4
+	if ncores == 8 {
+		count = sc.Mixes8
+	}
+	variants := []Variant{NoPref(), DemandFirst(), PADC(), PADCRank()}
+	t := AverageMixes(Mixes(ncores, count), ncores, sc, variants, nil)
+	t.Title = fmt.Sprintf("Figures 19/20: ranking on the %d-core system", ncores)
+	return t
+}
+
+// Fig21 reproduces Figures 21 (ncores=4) and 22 (ncores=8): two memory
+// controllers.
+func Fig21(ncores int, sc Scale) *Table {
+	count := sc.Mixes4
+	if ncores == 8 {
+		count = sc.Mixes8
+	}
+	dual := func(c *sim.Config) { c.DRAM.Channels = 2 }
+	t := AverageMixes(Mixes(ncores, count), ncores, sc, StandardVariants(), dual)
+	t.Title = fmt.Sprintf("Figures 21/22: dual memory controllers, %d cores", ncores)
+	return t
+}
+
+var _ = core.Config{}

@@ -1,0 +1,92 @@
+package exp
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+func TestTableRendering(t *testing.T) {
+	tab := &Table{Title: "T", Header: []string{"a", "bb"}}
+	tab.Add("x", "1")
+	tab.Addf("y", 2.5)
+	out := tab.String()
+	for _, want := range []string{"== T ==", "a", "bb", "x", "2.500"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q in:\n%s", want, out)
+		}
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 5 { // title, header, rule, 2 rows
+		t.Fatalf("unexpected line count %d:\n%s", len(lines), out)
+	}
+}
+
+func TestVariantsSetDistinctConfigs(t *testing.T) {
+	for _, v := range StandardVariants() {
+		cfg := baseConfig(4, Quick())
+		v.Apply(&cfg)
+		if v.Name == "no-pref" && cfg.Prefetcher != 0 {
+			t.Errorf("no-pref left the prefetcher on")
+		}
+		if v.Name == "aps-apd (PADC)" && !cfg.PADC.EnableAPD {
+			t.Errorf("PADC variant lost APD")
+		}
+		if v.Name == "aps-only" && cfg.PADC.EnableAPD {
+			t.Errorf("aps-only kept APD")
+		}
+	}
+}
+
+func TestMixesStableAcrossCalls(t *testing.T) {
+	a, b := Mixes(4, 3), Mixes(4, 3)
+	for i := range a {
+		for j := range a[i] {
+			if a[i][j].Name != b[i][j].Name {
+				t.Fatal("experiment mixes must be deterministic")
+			}
+		}
+	}
+}
+
+func TestFig6QuickShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation sweep")
+	}
+	tab := Fig6(tinyScale(), false)
+	t.Logf("\n%s", tab)
+	g := tab.Rows[len(tab.Rows)-1] // gmean row
+	if !strings.HasPrefix(g[0], "gmean") {
+		t.Fatalf("last row should be the gmean: %v", g)
+	}
+	// Column order: no-pref, demand-first(=1.0), equal, aps, padc.
+	parse := func(s string) float64 {
+		var v float64
+		if _, err := fmt.Sscan(s, &v); err != nil {
+			t.Fatal(err)
+		}
+		return v
+	}
+	df, aps, padc := parse(g[2]), parse(g[4]), parse(g[5])
+	if df < 0.99 || df > 1.01 {
+		t.Fatalf("demand-first normalization broken: %v", df)
+	}
+	// The paper's headline: the adaptive policies beat demand-first on
+	// average; allow slack at the tiny scale.
+	if aps < 0.95*df || padc < 0.95*df {
+		t.Errorf("adaptive policies collapsed: aps=%v padc=%v", aps, padc)
+	}
+}
+
+func TestAloneIPCCaches(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation")
+	}
+	a := NewAloneIPC()
+	mix := Mixes(4, 1)[0]
+	v1 := a.Get(mix[0], 4, tinyScale(), nil)
+	v2 := a.Get(mix[0], 4, tinyScale(), nil)
+	if v1 != v2 || v1 <= 0 {
+		t.Fatalf("alone IPC cache broken: %v %v", v1, v2)
+	}
+}

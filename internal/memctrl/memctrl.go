@@ -1,0 +1,360 @@
+// Package memctrl implements the memory request buffer and the DRAM
+// scheduling policies the paper studies: the rigid demand-prefetch-equal
+// (plain FR-FCFS), demand-first and prefetch-first policies, and the
+// adaptive APS / APS+ranking policies that, together with adaptive
+// prefetch dropping, form the Prefetch-Aware DRAM Controller.
+package memctrl
+
+import (
+	"fmt"
+
+	"padc/internal/dram"
+)
+
+// Policy selects the scheduling priority order.
+type Policy int
+
+const (
+	// DemandPrefEqual is plain FR-FCFS: row-hit first, then oldest first,
+	// with no demand/prefetch distinction.
+	DemandPrefEqual Policy = iota
+	// DemandFirst services all demands to a bank before any prefetch.
+	DemandFirst
+	// PrefetchFirst always prioritizes prefetches (the paper's footnote 2
+	// strawman; uniformly worst).
+	PrefetchFirst
+	// APS is Adaptive Prefetch Scheduling (Rule 1): Critical > Row-hit >
+	// Urgent > FCFS, with criticality and urgency derived from each core's
+	// measured prefetch accuracy.
+	APS
+	// APSRank is APS with the shortest-job-first ranking stage of §6.5
+	// inserted before FCFS (Rule 2).
+	APSRank
+)
+
+// String implements fmt.Stringer.
+func (p Policy) String() string {
+	switch p {
+	case DemandPrefEqual:
+		return "demand-pref-equal"
+	case DemandFirst:
+		return "demand-first"
+	case PrefetchFirst:
+		return "prefetch-first"
+	case APS:
+		return "aps"
+	case APSRank:
+		return "aps-rank"
+	default:
+		return fmt.Sprintf("Policy(%d)", int(p))
+	}
+}
+
+// Request is one entry of the memory request buffer.
+type Request struct {
+	Core     int
+	Line     uint64
+	Addr     dram.Address
+	Prefetch bool // currently a prefetch (false for demands and promoted prefetches)
+	WasPref  bool // originated as a prefetch (even if later promoted)
+	Runahead bool
+	Arrival  uint64
+	seq      uint64 // FCFS tiebreak
+
+	Inflight  bool
+	FinishAt  uint64
+	IssueHit  bool // the DRAM access was a row hit
+	RowState  dram.RowState
+	ServiceAt uint64
+}
+
+// Age returns how long the request has been buffered.
+func (r *Request) Age(now uint64) uint64 { return now - r.Arrival }
+
+// CoreState provides the per-core adaptive inputs the APS policies use;
+// the PADC accuracy meter implements it.
+type CoreState interface {
+	// PrefetchCritical reports whether the core's prefetches are currently
+	// promoted to demand priority (accuracy >= promotion threshold).
+	PrefetchCritical(core int) bool
+	// UrgencyEnabled gates priority rule 3 (for the §6.3.4 ablation).
+	UrgencyEnabled() bool
+}
+
+// Controller is one memory controller: a bounded request buffer in front
+// of one DRAM channel, scheduling one request per DRAM cycle.
+type Controller struct {
+	policy   Policy
+	channel  *dram.Channel
+	state    CoreState
+	capacity int
+	nextSeq  uint64
+
+	queue       []*Request
+	inflight    []*Request
+	bestPerBank []int // scratch for Tick's per-bank arbitration
+
+	// Stats.
+	Enqueued    uint64
+	RejectsFull uint64
+	Serviced    uint64
+	Dropped     uint64
+}
+
+// New builds a controller over channel with the given buffer capacity.
+// state may be nil for rigid policies.
+func New(policy Policy, channel *dram.Channel, capacity int, state CoreState) *Controller {
+	return &Controller{policy: policy, channel: channel, capacity: capacity, state: state}
+}
+
+// Policy returns the scheduling policy in force.
+func (c *Controller) Policy() Policy { return c.policy }
+
+// Occupancy returns how many buffer entries are in use.
+func (c *Controller) Occupancy() int { return len(c.queue) + len(c.inflight) }
+
+// Full reports whether the request buffer has no free entry.
+func (c *Controller) Full() bool { return c.Occupancy() >= c.capacity }
+
+// Enqueue admits a request. It returns false (and drops the request) when
+// the buffer is full; callers treat that as a stall for demands and a
+// cancelled issue for prefetches.
+func (c *Controller) Enqueue(r *Request) bool {
+	if c.Full() {
+		c.RejectsFull++
+		return false
+	}
+	r.seq = c.nextSeq
+	c.nextSeq++
+	c.queue = append(c.queue, r)
+	c.Enqueued++
+	return true
+}
+
+// MatchPrefetch looks for a buffered (waiting or in-flight) prefetch from
+// core for line and promotes it to demand criticality, returning it; nil
+// if absent. Per the paper's §4.1 a promoted prefetch counts as useful.
+func (c *Controller) MatchPrefetch(core int, line uint64) *Request {
+	for _, r := range c.queue {
+		if r.Core == core && r.Line == line && r.Prefetch {
+			r.Prefetch = false
+			return r
+		}
+	}
+	for _, r := range c.inflight {
+		if r.Core == core && r.Line == line && r.Prefetch {
+			r.Prefetch = false
+			return r
+		}
+	}
+	return nil
+}
+
+// critical implements priority rule 1.
+func (c *Controller) critical(r *Request) bool {
+	if !r.Prefetch {
+		return true
+	}
+	return c.state != nil && c.state.PrefetchCritical(r.Core)
+}
+
+// urgent implements priority rule 3: demands of cores whose prefetching is
+// inaccurate outrank other requests of equal criticality and row-hit
+// status.
+func (c *Controller) urgent(r *Request) bool {
+	if r.Prefetch || c.state == nil || !c.state.UrgencyEnabled() {
+		return false
+	}
+	return !c.state.PrefetchCritical(r.Core)
+}
+
+// better reports whether a should be scheduled before b under the policy.
+// rank holds the per-core rank values (higher = first) for APSRank.
+func (c *Controller) better(a, b *Request, aHit, bHit bool, rank []int) bool {
+	type cmp struct{ a, b bool }
+	lex := func(terms ...cmp) bool {
+		for _, t := range terms {
+			if t.a != t.b {
+				return t.a
+			}
+		}
+		return a.seq < b.seq
+	}
+	switch c.policy {
+	case DemandPrefEqual:
+		return lex(cmp{aHit, bHit})
+	case DemandFirst:
+		return lex(cmp{!a.Prefetch, !b.Prefetch}, cmp{aHit, bHit})
+	case PrefetchFirst:
+		return lex(cmp{a.Prefetch, b.Prefetch}, cmp{aHit, bHit})
+	case APS:
+		return lex(cmp{c.critical(a), c.critical(b)}, cmp{aHit, bHit}, cmp{c.urgent(a), c.urgent(b)})
+	case APSRank:
+		ra, rb := 0, 0
+		if c.critical(a) {
+			ra = rank[a.Core]
+		}
+		if c.critical(b) {
+			rb = rank[b.Core]
+		}
+		if c.critical(a) != c.critical(b) {
+			return c.critical(a)
+		}
+		if aHit != bHit {
+			return aHit
+		}
+		if ua, ub := c.urgent(a), c.urgent(b); ua != ub {
+			return ua
+		}
+		if ra != rb {
+			return ra > rb
+		}
+		return a.seq < b.seq
+	default:
+		return a.seq < b.seq
+	}
+}
+
+// ranks computes the §6.5 shortest-job ranking: cores with fewer
+// outstanding critical requests rank higher. The returned slice maps core
+// id to a rank value where larger means schedule first.
+func (c *Controller) ranks(ncores int) []int {
+	counts := make([]int, ncores)
+	for _, r := range c.queue {
+		if c.critical(r) {
+			counts[r.Core]++
+		}
+	}
+	for _, r := range c.inflight {
+		if c.critical(r) {
+			counts[r.Core]++
+		}
+	}
+	rank := make([]int, ncores)
+	for i, n := range counts {
+		rank[i] = -n // fewer critical requests => larger rank value
+	}
+	return rank
+}
+
+// Tick makes the cycle's scheduling decisions and returns any requests
+// whose DRAM service completed by now. Scheduling is per bank — banks
+// precharge and activate in parallel, serializing only on the shared data
+// bus — so each ready bank issues its own highest-priority request, the
+// arbitration FR-FCFS-class schedulers perform. ncores sizes the ranking
+// pass.
+func (c *Controller) Tick(now uint64, ncores int) []*Request {
+	// Harvest completions.
+	var done []*Request
+	keep := c.inflight[:0]
+	for _, r := range c.inflight {
+		if r.FinishAt <= now {
+			done = append(done, r)
+		} else {
+			keep = append(keep, r)
+		}
+	}
+	c.inflight = keep
+	if len(c.queue) == 0 {
+		return done
+	}
+
+	var rank []int
+	if c.policy == APSRank {
+		rank = c.ranks(ncores)
+	}
+
+	// One pass: find each ready bank's best request.
+	nbanks := len(c.channel.Banks)
+	if cap(c.bestPerBank) < nbanks {
+		c.bestPerBank = make([]int, nbanks)
+	}
+	best := c.bestPerBank[:nbanks]
+	for i := range best {
+		best[i] = -1
+	}
+	for i, r := range c.queue {
+		b := r.Addr.Bank
+		if !c.channel.BankReady(b, now) {
+			continue
+		}
+		if best[b] < 0 {
+			best[b] = i
+			continue
+		}
+		o := c.queue[best[b]]
+		rHit := c.channel.Banks[b].State(r.Addr.Row) == dram.RowHit
+		oHit := c.channel.Banks[b].State(o.Addr.Row) == dram.RowHit
+		if c.better(r, o, rHit, oHit, rank) {
+			best[b] = i
+		}
+	}
+
+	issued := 0
+	for b := 0; b < nbanks; b++ {
+		if best[b] < 0 {
+			continue
+		}
+		r := c.queue[best[b]]
+		keepOpen := c.moreRowWork(r, best[b])
+		finish, state := c.channel.Issue(b, r.Addr.Row, now, keepOpen)
+		r.Inflight = true
+		r.FinishAt = finish
+		r.RowState = state
+		r.IssueHit = state == dram.RowHit
+		r.ServiceAt = now
+		c.inflight = append(c.inflight, r)
+		c.Serviced++
+		issued++
+	}
+	if issued > 0 {
+		keepQ := c.queue[:0]
+		for _, r := range c.queue {
+			if !r.Inflight {
+				keepQ = append(keepQ, r)
+			}
+		}
+		c.queue = keepQ
+	}
+	return done
+}
+
+// moreRowWork reports whether another queued request targets the same bank
+// and row as r (consulted by the closed-row policy to decide whether to
+// keep the row open).
+func (c *Controller) moreRowWork(r *Request, skip int) bool {
+	for i, q := range c.queue {
+		if i == skip {
+			continue
+		}
+		if q.Addr.Bank == r.Addr.Bank && q.Addr.Row == r.Addr.Row {
+			return true
+		}
+	}
+	return false
+}
+
+// DropExpired implements the buffer half of Adaptive Prefetch Dropping:
+// waiting (never in-flight) prefetches older than their core's drop
+// threshold are removed and returned so the caller can release MSHR
+// entries and account statistics.
+func (c *Controller) DropExpired(now uint64, threshold func(core int) uint64) []*Request {
+	var dropped []*Request
+	keep := c.queue[:0]
+	for _, r := range c.queue {
+		if r.Prefetch && r.Age(now) > threshold(r.Core) {
+			dropped = append(dropped, r)
+			continue
+		}
+		keep = append(keep, r)
+	}
+	c.queue = keep
+	c.Dropped += uint64(len(dropped))
+	return dropped
+}
+
+// Channel exposes the controller's DRAM channel (stats, tests).
+func (c *Controller) Channel() *dram.Channel { return c.channel }
+
+// Pending returns the number of waiting (not yet issued) requests.
+func (c *Controller) Pending() int { return len(c.queue) }

@@ -1,0 +1,221 @@
+package prefetch
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestStrideDetection(t *testing.T) {
+	s := NewStride(StrideConfig{})
+	pc := uint64(0x400)
+	var got []uint64
+	for i := uint64(0); i < 5; i++ {
+		got = s.Observe(AccessEvent{LineAddr: 100 + 3*i, PC: pc, Miss: true}, 64)
+	}
+	if len(got) != 4 {
+		t.Fatalf("confirmed stride should prefetch degree lines: %v", got)
+	}
+	for i, a := range got {
+		if want := 100 + 3*4 + 3*uint64(i+1); a != want {
+			t.Fatalf("stride target %d: got %d want %d", i, a, want)
+		}
+	}
+}
+
+func TestStrideRejectsIrregular(t *testing.T) {
+	s := NewStride(StrideConfig{})
+	addrs := []uint64{100, 107, 109, 150, 151, 300}
+	for _, a := range addrs {
+		if got := s.Observe(AccessEvent{LineAddr: a, PC: 7, Miss: true}, 64); len(got) != 0 {
+			t.Fatalf("irregular pattern prefetched: %v", got)
+		}
+	}
+}
+
+func TestStrideSeparatesPCs(t *testing.T) {
+	s := NewStride(StrideConfig{})
+	// Interleave two PCs with different strides; both should confirm.
+	var gotA, gotB []uint64
+	for i := uint64(0); i < 5; i++ {
+		gotA = s.Observe(AccessEvent{LineAddr: 10 + 2*i, PC: 1, Miss: true}, 64)
+		gotB = s.Observe(AccessEvent{LineAddr: 1000 + 5*i, PC: 2, Miss: true}, 64)
+	}
+	if len(gotA) == 0 || len(gotB) == 0 {
+		t.Fatalf("per-PC streams not detected: %v %v", gotA, gotB)
+	}
+	if gotA[0] != 10+2*4+2 || gotB[0] != 1000+5*4+5 {
+		t.Fatalf("wrong stride targets: %v %v", gotA, gotB)
+	}
+}
+
+func TestCDCDeltaCorrelation(t *testing.T) {
+	c := NewCDC(CDCConfig{})
+	// Repeating delta pattern +1,+1,+3 within one zone.
+	deltas := []int64{1, 1, 3, 1, 1, 3, 1, 1}
+	addr := uint64(5000)
+	var got []uint64
+	for _, d := range deltas {
+		addr += uint64(d)
+		got = c.Observe(AccessEvent{LineAddr: addr, Miss: true}, 64)
+	}
+	if len(got) == 0 {
+		t.Fatal("periodic delta pattern not detected")
+	}
+	// After ...,1,1 the history predicts +3 next.
+	if got[0] != addr+3 {
+		t.Fatalf("first prediction should follow the pattern: got %d want %d", got[0], addr+3)
+	}
+}
+
+func TestCDCZoneIsolation(t *testing.T) {
+	c := NewCDC(CDCConfig{CZoneLines: 1024})
+	// Accesses in different zones never correlate.
+	for i := uint64(0); i < 8; i++ {
+		if got := c.Observe(AccessEvent{LineAddr: i * 10_000, Miss: true}, 64); len(got) != 0 {
+			t.Fatalf("cross-zone correlation: %v", got)
+		}
+	}
+}
+
+func TestCDCIgnoresHits(t *testing.T) {
+	c := NewCDC(CDCConfig{})
+	for i := uint64(0); i < 10; i++ {
+		if got := c.Observe(AccessEvent{LineAddr: 100 + i, Miss: false}, 64); len(got) != 0 {
+			t.Fatalf("hits trained C/DC: %v", got)
+		}
+	}
+}
+
+func TestMarkovLearnsSuccessors(t *testing.T) {
+	m := NewMarkov(MarkovConfig{})
+	seq := []uint64{10, 77, 10, 77, 10}
+	var got []uint64
+	for _, a := range seq {
+		got = m.Observe(AccessEvent{LineAddr: a, Miss: true}, 64)
+	}
+	if len(got) != 1 || got[0] != 77 {
+		t.Fatalf("markov should predict 77 after 10: %v", got)
+	}
+}
+
+func TestMarkovMultipleSuccessors(t *testing.T) {
+	m := NewMarkov(MarkovConfig{Successors: 2})
+	for _, a := range []uint64{1, 2, 1, 3, 1} {
+		m.Observe(AccessEvent{LineAddr: a, Miss: true}, 64)
+	}
+	got := m.Observe(AccessEvent{LineAddr: 1, Miss: true}, 64)
+	if len(got) != 2 {
+		t.Fatalf("both successors should be prefetched: %v", got)
+	}
+}
+
+func TestMarkovBudget(t *testing.T) {
+	m := NewMarkov(MarkovConfig{Successors: 2})
+	for _, a := range []uint64{1, 2, 1, 3, 1} {
+		m.Observe(AccessEvent{LineAddr: a, Miss: true}, 64)
+	}
+	if got := m.Observe(AccessEvent{LineAddr: 1, Miss: true}, 1); len(got) != 1 {
+		t.Fatalf("budget 1 must cap output: %v", got)
+	}
+}
+
+// fixedPF always proposes the same candidate: DDPF filtering is defined
+// over recurring prefetch targets.
+type fixedPF struct{ line uint64 }
+
+func (f fixedPF) Name() string                      { return "fixed" }
+func (f fixedPF) Observe(AccessEvent, int) []uint64 { return []uint64{f.line} }
+
+func TestDDPFFiltersUseless(t *testing.T) {
+	d := NewDDPF(fixedPF{line: 42}, DDPFConfig{})
+	if got := d.Observe(AccessEvent{}, 64); len(got) != 1 {
+		t.Fatalf("cold DDPF should pass prefetches: %v", got)
+	}
+	for i := 0; i < 4; i++ {
+		d.Feedback(42, false)
+	}
+	if got := d.Observe(AccessEvent{}, 64); len(got) != 0 {
+		t.Fatalf("persistently useless target should be filtered: %v", got)
+	}
+	if d.Filtered == 0 {
+		t.Fatal("filter counter not incremented")
+	}
+	// Useful feedback rehabilitates the target.
+	for i := 0; i < 4; i++ {
+		d.Feedback(42, true)
+	}
+	if got := d.Observe(AccessEvent{}, 64); len(got) != 1 {
+		t.Fatalf("rehabilitated target should pass: %v", got)
+	}
+}
+
+func TestFDPThrottlesDown(t *testing.T) {
+	inner := NewStream(StreamConfig{})
+	f := NewFDP(inner, FDPConfig{})
+	start := f.Level()
+	// A low-accuracy interval must lower aggressiveness.
+	for i := 0; i < 100; i++ {
+		f.CountSent()
+	}
+	f.CountUseful()
+	f.EndInterval(100)
+	if f.Level() >= start {
+		t.Fatalf("low accuracy should throttle down: %d -> %d", start, f.Level())
+	}
+}
+
+func TestFDPRampsUpWhenAccurateAndLate(t *testing.T) {
+	inner := NewStream(StreamConfig{})
+	f := NewFDP(inner, FDPConfig{})
+	start := f.Level()
+	for i := 0; i < 100; i++ {
+		f.CountSent()
+		f.CountUseful()
+	}
+	for i := 0; i < 10; i++ {
+		f.CountLate()
+	}
+	f.EndInterval(100)
+	if f.Level() <= start {
+		t.Fatalf("accurate+late should ramp up: %d -> %d", start, f.Level())
+	}
+}
+
+func TestFDPPollutionThrottles(t *testing.T) {
+	inner := NewStream(StreamConfig{})
+	f := NewFDP(inner, FDPConfig{})
+	start := f.Level()
+	for i := 0; i < 100; i++ {
+		f.CountSent()
+		f.CountUseful()
+	}
+	// Heavy pollution despite perfect accuracy.
+	for i := uint64(0); i < 50; i++ {
+		f.NoteEviction(i)
+		f.NoteDemandMiss(i)
+	}
+	f.EndInterval(100)
+	if f.Level() >= start {
+		t.Fatalf("pollution should throttle down: %d -> %d", start, f.Level())
+	}
+}
+
+func TestBudgetNeverExceeded(t *testing.T) {
+	mk := map[string]func() Prefetcher{
+		"stream": func() Prefetcher { return NewStream(StreamConfig{}) },
+		"stride": func() Prefetcher { return NewStride(StrideConfig{}) },
+		"cdc":    func() Prefetcher { return NewCDC(CDCConfig{}) },
+		"markov": func() Prefetcher { return NewMarkov(MarkovConfig{}) },
+	}
+	for name, ctor := range mk {
+		p := ctor()
+		f := func(addr uint16, miss bool, budget uint8) bool {
+			b := int(budget % 8)
+			got := p.Observe(AccessEvent{LineAddr: uint64(addr), PC: uint64(addr) % 7, Miss: miss}, b)
+			return len(got) <= b
+		}
+		if err := quick.Check(f, nil); err != nil {
+			t.Errorf("%s violates its budget: %v", name, err)
+		}
+	}
+}

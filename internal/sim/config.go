@@ -1,0 +1,171 @@
+// Package sim wires the substrates — cores, caches, prefetchers, memory
+// controllers and DRAM — into the full CMP system of the paper's Tables 3
+// and 4, and drives the cycle loop.
+package sim
+
+import (
+	"fmt"
+
+	"padc/internal/cache"
+	"padc/internal/core"
+	"padc/internal/cpu"
+	"padc/internal/dram"
+	"padc/internal/memctrl"
+	"padc/internal/workload"
+)
+
+// PrefetcherKind selects the per-core prefetch engine.
+type PrefetcherKind int
+
+const (
+	PFNone PrefetcherKind = iota
+	PFStream
+	PFStride
+	PFCDC
+	PFMarkov
+)
+
+// String implements fmt.Stringer.
+func (k PrefetcherKind) String() string {
+	switch k {
+	case PFNone:
+		return "none"
+	case PFStream:
+		return "stream"
+	case PFStride:
+		return "stride"
+	case PFCDC:
+		return "cdc"
+	case PFMarkov:
+		return "markov"
+	default:
+		return fmt.Sprintf("PrefetcherKind(%d)", int(k))
+	}
+}
+
+// FilterKind optionally wraps the prefetcher with a §6.12 comparison
+// mechanism.
+type FilterKind int
+
+const (
+	FilterNone FilterKind = iota
+	FilterDDPF
+	FilterFDP
+)
+
+// String implements fmt.Stringer.
+func (k FilterKind) String() string {
+	switch k {
+	case FilterNone:
+		return "none"
+	case FilterDDPF:
+		return "ddpf"
+	case FilterFDP:
+		return "fdp"
+	default:
+		return fmt.Sprintf("FilterKind(%d)", int(k))
+	}
+}
+
+// Config describes one simulated system and run.
+type Config struct {
+	Cores int // cores the system is provisioned for (resource sizing)
+	Core  cpu.Config
+
+	L1       cache.Config // L1.Bytes == 0 disables the L1
+	L2       cache.Config // per core, or total when SharedL2
+	SharedL2 bool
+	MSHR     int // entries per last-level cache
+
+	DRAM        dram.Config
+	BufferSlots int // memory request buffer entries per controller
+	Policy      memctrl.Policy
+	PADC        core.Config
+
+	Prefetcher PrefetcherKind
+	Filter     FilterKind
+
+	Workload []workload.Profile // profile per core; fewer than Cores leaves the rest idle
+
+	TargetInsts uint64 // instructions each active core must retire
+	MaxCycles   uint64 // safety bound; 0 derives one from TargetInsts
+
+	TrackServiceHist   bool // Figure 4(a) service-time histograms
+	TrackAccuracyTrace bool // Figure 4(b) per-interval PAR of core 0
+}
+
+// Baseline returns the paper's baseline system for ncores in {1, 2, 4, 8}
+// (Tables 3 and 4): per-core 32KB L1 and 512KB 8-way L2 (1MB on a single
+// core), stream prefetcher, one DDR3 channel with 8 banks and 4KB rows,
+// and 64/64/128/256 request-buffer and MSHR entries.
+func Baseline(ncores int) Config {
+	l2Bytes := uint64(512 << 10)
+	if ncores == 1 {
+		l2Bytes = 1 << 20
+	}
+	buffer := map[int]int{1: 64, 2: 64, 4: 128, 8: 256}[ncores]
+	if buffer == 0 {
+		buffer = 32 * ncores
+	}
+	return Config{
+		Cores: ncores,
+		Core:  cpu.DefaultConfig(),
+		L1:    cache.Config{Bytes: 32 << 10, Ways: 4, LineBytes: 64, HitCycles: 2},
+		L2:    cache.Config{Bytes: l2Bytes, Ways: 8, LineBytes: 64, HitCycles: 15},
+		MSHR:  buffer / ncores,
+
+		DRAM:        dram.DefaultConfig(),
+		BufferSlots: buffer,
+		Policy:      memctrl.DemandFirst,
+		PADC:        core.DefaultConfig(),
+
+		Prefetcher:  PFStream,
+		TargetInsts: 500_000,
+	}
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	if c.Cores < 1 {
+		return fmt.Errorf("sim: need at least one core, got %d", c.Cores)
+	}
+	if len(c.Workload) > c.Cores {
+		return fmt.Errorf("sim: %d workloads for %d cores", len(c.Workload), c.Cores)
+	}
+	if len(c.Workload) == 0 {
+		return fmt.Errorf("sim: empty workload")
+	}
+	if c.L1.Bytes != 0 {
+		if err := c.L1.Validate(); err != nil {
+			return err
+		}
+	}
+	if err := c.L2.Validate(); err != nil {
+		return err
+	}
+	if err := c.DRAM.Validate(); err != nil {
+		return err
+	}
+	if c.BufferSlots < 1 {
+		return fmt.Errorf("sim: request buffer needs at least one slot")
+	}
+	if c.MSHR < 1 {
+		return fmt.Errorf("sim: MSHR needs at least one entry")
+	}
+	if c.TargetInsts == 0 {
+		return fmt.Errorf("sim: TargetInsts must be positive")
+	}
+	return nil
+}
+
+// maxCycles returns the safety bound for the run.
+func (c Config) maxCycles() uint64 {
+	if c.MaxCycles != 0 {
+		return c.MaxCycles
+	}
+	m := 400 * c.TargetInsts
+	if m < 20_000_000 {
+		m = 20_000_000
+	}
+	return m
+}

@@ -1,0 +1,573 @@
+package sim
+
+import (
+	"fmt"
+
+	"padc/internal/cache"
+	"padc/internal/core"
+	"padc/internal/cpu"
+	"padc/internal/dram"
+	"padc/internal/memctrl"
+	"padc/internal/prefetch"
+	"padc/internal/stats"
+	"padc/internal/workload"
+)
+
+// coreSpaceShift separates per-core address spaces: multiprogrammed
+// workloads share no data, as in the paper's setup.
+const coreSpaceShift = 44
+
+// histBuckets matches Figure 4(a): nine 200-cycle service-time bins.
+const histBuckets = 9
+
+// coreCtx bundles one active core with its private hierarchy and stats.
+type coreCtx struct {
+	id   int
+	prof workload.Profile
+	core *cpu.Core
+
+	l1   *cache.Cache // nil when disabled
+	l2   *cache.Cache // private or the shared LLC
+	mshr *cache.MSHR  // ditto
+
+	pf   prefetch.Prefetcher
+	fdp  *prefetch.FDP  // non-nil when Filter == FilterFDP
+	ddpf *prefetch.DDPF // non-nil when Filter == FilterDDPF
+
+	// Running counters (snapshotted into frozen when the core reaches its
+	// instruction target).
+	l2Demand      uint64
+	l2Miss        uint64
+	demandReqs    uint64
+	prefSent      uint64
+	prefUsed      uint64
+	prefDropped   uint64
+	intervalMiss  uint64
+	busDemand     uint64
+	busPrefPure   uint64 // serviced still-prefetch lines (usefulness pending)
+	busPrefPromo  uint64 // serviced promoted prefetches (known useful)
+	prefUsedAfter uint64 // pure-prefetch lines later consumed by a demand
+
+	pfqDropped uint64 // prefetch candidates dropped at issue (resources full)
+
+	frozen bool
+	snap   stats.CoreResult
+	// Traffic snapshot at freeze, so post-freeze execution (kept running
+	// only to preserve contention) does not skew bus-traffic comparisons.
+	snapBusDemand, snapBusPure, snapBusPromo, snapUsedAfter, snapDropped uint64
+}
+
+// System is one fully wired simulated machine.
+type System struct {
+	cfg   Config
+	padc  *core.PADC
+	chans []*dram.Channel
+	ctrls []*memctrl.Controller
+	cores []*coreCtx
+
+	cycle uint64
+
+	// Global service accounting.
+	serviced       uint64
+	rowHits        uint64
+	usefulServiced uint64
+	usefulRowHits  uint64
+
+	histUseful  []uint64
+	histUseless []uint64
+	pendingUse  map[uint64]uint64 // gline -> service time, usefulness unknown
+	accTrace    []float64
+}
+
+// New builds a System from cfg.
+func New(cfg Config) (*System, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	s := &System{cfg: cfg}
+	s.padc = core.New(cfg.Cores, cfg.PADC)
+
+	s.chans = make([]*dram.Channel, cfg.DRAM.Channels)
+	s.ctrls = make([]*memctrl.Controller, cfg.DRAM.Channels)
+	var st memctrl.CoreState
+	if cfg.Policy == memctrl.APS || cfg.Policy == memctrl.APSRank {
+		st = s.padc
+	}
+	for i := range s.chans {
+		s.chans[i] = dram.NewChannel(cfg.DRAM)
+		s.ctrls[i] = memctrl.New(cfg.Policy, s.chans[i], cfg.BufferSlots, st)
+	}
+
+	var sharedL2 *cache.Cache
+	var sharedMSHR *cache.MSHR
+	if cfg.SharedL2 {
+		sharedL2 = cache.New(cfg.L2)
+		sharedMSHR = cache.NewMSHR(cfg.MSHR)
+	}
+
+	s.cores = make([]*coreCtx, len(cfg.Workload))
+	for i, prof := range cfg.Workload {
+		cc := &coreCtx{id: i, prof: prof}
+		if cfg.L1.Bytes > 0 {
+			cc.l1 = cache.New(cfg.L1)
+		}
+		if cfg.SharedL2 {
+			cc.l2, cc.mshr = sharedL2, sharedMSHR
+		} else {
+			cc.l2 = cache.New(cfg.L2)
+			cc.mshr = cache.NewMSHR(cfg.MSHR)
+		}
+		cc.pf = buildPrefetcher(cfg.Prefetcher)
+		switch cfg.Filter {
+		case FilterDDPF:
+			cc.ddpf = prefetch.NewDDPF(cc.pf, prefetch.DDPFConfig{})
+			cc.pf = cc.ddpf
+		case FilterFDP:
+			cc.fdp = prefetch.NewFDP(cc.pf, prefetch.FDPConfig{})
+			cc.pf = cc.fdp
+		}
+		cc.core = cpu.New(i, cfg.Core, prof.Gen, s)
+		s.cores[i] = cc
+	}
+
+	if cfg.TrackServiceHist {
+		s.histUseful = make([]uint64, histBuckets)
+		s.histUseless = make([]uint64, histBuckets)
+		s.pendingUse = make(map[uint64]uint64)
+	}
+	return s, nil
+}
+
+func buildPrefetcher(kind PrefetcherKind) prefetch.Prefetcher {
+	switch kind {
+	case PFStream:
+		return prefetch.NewStream(prefetch.StreamConfig{})
+	case PFStride:
+		return prefetch.NewStride(prefetch.StrideConfig{})
+	case PFCDC:
+		return prefetch.NewCDC(prefetch.CDCConfig{})
+	case PFMarkov:
+		return prefetch.NewMarkov(prefetch.MarkovConfig{})
+	default:
+		return prefetch.Nop{}
+	}
+}
+
+// coreOffset decorrelates per-core address spaces: without it, identical
+// applications on different cores would walk the same bank/column sequence
+// in lockstep (real processes differ in physical page placement). The
+// offset is added below the core-id bits, preserving spatial contiguity.
+func coreOffset(coreID int) uint64 {
+	x := uint64(coreID) + 0x9e3779b97f4a7c15
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	return x & (1<<coreSpaceShift - 1)
+}
+
+func gline(coreID int, line uint64) uint64 {
+	return uint64(coreID)<<coreSpaceShift | (line+coreOffset(coreID))&(1<<coreSpaceShift-1)
+}
+
+func (s *System) ctrlFor(a dram.Address) *memctrl.Controller { return s.ctrls[a.Channel] }
+
+// Load implements cpu.Memory: the demand-load path through L1, the
+// last-level cache, MSHRs and the memory request buffer. Statistics and
+// prefetcher training fire only on a load's first attempt; retries after a
+// resource-full rejection re-walk the hierarchy silently.
+func (s *System) Load(coreID int, seq, line, pc uint64, runahead bool, now uint64, firstTry bool) cpu.LoadResult {
+	cs := s.cores[coreID]
+	g := gline(coreID, line)
+
+	if cs.l1 != nil {
+		if cs.l1.Access(g).Hit {
+			return cpu.LoadResult{ReadyAt: now + s.cfg.L1.HitCycles}
+		}
+	}
+
+	info := cs.l2.Access(g)
+	if info.Hit {
+		if firstTry {
+			cs.l2Demand++
+		}
+		if info.WasPrefetch {
+			s.noteUseful(cs, g, info.FillRowHit, false)
+		}
+		if cs.l1 != nil {
+			cs.l1.Fill(g, false, false)
+		}
+		if firstTry {
+			s.observe(cs, prefetch.AccessEvent{LineAddr: g, PC: pc, Miss: false, Cycle: now}, now)
+		}
+		return cpu.LoadResult{ReadyAt: now + s.cfg.L2.HitCycles}
+	}
+
+	// Last-level miss. A merge with an outstanding demand fill is the L1
+	// MSHR's job in real hardware: it neither re-counts the miss nor
+	// retrains the prefetcher.
+	if e := cs.mshr.Lookup(g); e != nil && !e.Prefetch {
+		e.Waiters = append(e.Waiters, cache.Waiter{Core: coreID, Seq: seq})
+		return cpu.LoadResult{Pending: true}
+	}
+
+	if firstTry {
+		cs.l2Demand++
+		cs.l2Miss++
+		cs.intervalMiss++
+		if cs.fdp != nil {
+			cs.fdp.NoteDemandMiss(g)
+		}
+		s.observe(cs, prefetch.AccessEvent{LineAddr: g, PC: pc, Miss: true, Cycle: now}, now)
+	}
+
+	if e := cs.mshr.Lookup(g); e != nil {
+		// The demand caught an in-flight prefetch: promote it to demand
+		// criticality; it counts as useful (§4.1, footnote 9).
+		if e.Prefetch {
+			e.Prefetch = false
+			addr := s.cfg.DRAM.Map(g)
+			s.ctrlFor(addr).MatchPrefetch(coreID, g)
+			s.noteUseful(cs, g, false, true)
+		}
+		e.Waiters = append(e.Waiters, cache.Waiter{Core: coreID, Seq: seq})
+		return cpu.LoadResult{Pending: true}
+	}
+
+	if cs.mshr.Full() {
+		return cpu.LoadResult{Retry: true}
+	}
+	addr := s.cfg.DRAM.Map(g)
+	req := &memctrl.Request{
+		Core: coreID, Line: g, Addr: addr,
+		Runahead: runahead, Arrival: now,
+	}
+	if !s.ctrlFor(addr).Enqueue(req) {
+		return cpu.LoadResult{Retry: true}
+	}
+	e := cs.mshr.Allocate(g, false)
+	if e == nil {
+		// Cannot happen after the Full check, but stay safe.
+		return cpu.LoadResult{Retry: true}
+	}
+	e.Waiters = append(e.Waiters, cache.Waiter{Core: coreID, Seq: seq})
+	cs.demandReqs++
+	return cpu.LoadResult{Pending: true}
+}
+
+// noteUseful books one useful prefetch for the core. For a line already in
+// the cache, fillRowHit feeds RBHU; for a promotion the row-hit status is
+// accounted at service completion instead.
+func (s *System) noteUseful(cs *coreCtx, g uint64, fillRowHit, promotion bool) {
+	cs.prefUsed++
+	s.padc.NotePrefetchUsed(cs.id)
+	if cs.fdp != nil {
+		cs.fdp.CountUseful()
+		if promotion {
+			cs.fdp.CountLate()
+		}
+	}
+	if cs.ddpf != nil {
+		cs.ddpf.Feedback(g, true)
+	}
+	if !promotion {
+		cs.prefUsedAfter++
+		s.usefulServiced++
+		if fillRowHit {
+			s.usefulRowHits++
+		}
+		if s.pendingUse != nil {
+			if t, ok := s.pendingUse[g]; ok {
+				s.histUseful[histBucket(t)]++
+				delete(s.pendingUse, g)
+			}
+		}
+	}
+}
+
+// prefetchBudget returns how many prefetches the memory system can accept
+// from this core right now: free MSHR entries and free request-buffer
+// slots (summed across controllers) both bound it. Passing this to the
+// prefetcher lets stateful engines apply backpressure instead of losing
+// lines.
+func (s *System) prefetchBudget(cs *coreCtx) int {
+	b := cs.mshr.Capacity() - cs.mshr.Len()
+	free := 0
+	for _, ctrl := range s.ctrls {
+		free += s.cfg.BufferSlots - ctrl.Occupancy()
+	}
+	if free < b {
+		b = free
+	}
+	return b
+}
+
+// observe feeds the core's prefetcher and issues its candidates into the
+// memory system. Candidates that race with a concurrent fill (already in
+// cache or outstanding) are silently absorbed; a candidate that still
+// cannot enter (e.g. its channel's buffer is the full one) is dropped, the
+// paper's coverage-loss-under-full-buffer behavior (§6.1).
+func (s *System) observe(cs *coreCtx, ev prefetch.AccessEvent, now uint64) {
+	for _, cand := range cs.pf.Observe(ev, s.prefetchBudget(cs)) {
+		if cs.l2.Contains(cand) || cs.mshr.Lookup(cand) != nil {
+			continue // already present or outstanding
+		}
+		if cs.mshr.Full() {
+			cs.pfqDropped++
+			continue
+		}
+		addr := s.cfg.DRAM.Map(cand)
+		ctrl := s.ctrlFor(addr)
+		req := &memctrl.Request{
+			Core: cs.id, Line: cand, Addr: addr,
+			Prefetch: true, WasPref: true, Arrival: now,
+		}
+		if !ctrl.Enqueue(req) {
+			cs.pfqDropped++
+			continue
+		}
+		cs.mshr.Allocate(cand, true)
+		cs.prefSent++
+		s.padc.NotePrefetchSent(cs.id)
+		if cs.fdp != nil {
+			cs.fdp.CountSent()
+		}
+	}
+}
+
+func histBucket(t uint64) int {
+	b := int(t / 200)
+	if b >= histBuckets {
+		b = histBuckets - 1
+	}
+	return b
+}
+
+// complete retires one serviced DRAM request back into the hierarchy.
+func (s *System) complete(r *memctrl.Request, now uint64) {
+	cs := s.cores[r.Core]
+	s.serviced++
+	if r.IssueHit {
+		s.rowHits++
+	}
+	svc := r.FinishAt - r.Arrival
+
+	switch {
+	case !r.WasPref:
+		cs.busDemand++
+		s.usefulServiced++
+		if r.IssueHit {
+			s.usefulRowHits++
+		}
+	case !r.Prefetch: // promoted prefetch: known useful
+		cs.busPrefPromo++
+		s.usefulServiced++
+		if r.IssueHit {
+			s.usefulRowHits++
+		}
+		if s.histUseful != nil {
+			s.histUseful[histBucket(svc)]++
+		}
+	default: // still a prefetch: usefulness resolves later
+		cs.busPrefPure++
+		if s.pendingUse != nil {
+			s.pendingUse[r.Line] = svc
+		}
+	}
+
+	ev := cs.l2.Fill(r.Line, r.Prefetch, r.IssueHit)
+	if ev.Valid {
+		if ev.WasPrefetch {
+			if cs.ddpf != nil {
+				cs.ddpf.Feedback(ev.LineAddr, false)
+			}
+			if s.pendingUse != nil {
+				if t, ok := s.pendingUse[ev.LineAddr]; ok {
+					s.histUseless[histBucket(t)]++
+					delete(s.pendingUse, ev.LineAddr)
+				}
+			}
+		} else if r.Prefetch && cs.fdp != nil {
+			cs.fdp.NoteEviction(ev.LineAddr)
+		}
+	}
+
+	if e := cs.mshr.Lookup(r.Line); e != nil {
+		if len(e.Waiters) > 0 && cs.l1 != nil {
+			cs.l1.Fill(r.Line, false, false)
+		}
+		for _, w := range e.Waiters {
+			s.cores[w.Core].core.Complete(w.Seq, r.FinishAt)
+		}
+		cs.mshr.Release(r.Line)
+	}
+}
+
+// dropExpired runs the APD scan over every controller.
+func (s *System) dropExpired(now uint64) {
+	for _, ctrl := range s.ctrls {
+		if ctrl.Pending() == 0 {
+			continue
+		}
+		for _, r := range ctrl.DropExpired(now, s.padc.DropThreshold) {
+			cs := s.cores[r.Core]
+			cs.mshr.Release(r.Line)
+			cs.prefDropped++
+		}
+	}
+}
+
+func (s *System) freeze(cs *coreCtx) {
+	cs.frozen = true
+	cs.snap = stats.CoreResult{
+		Benchmark:   cs.prof.Name,
+		Cycles:      s.cycle,
+		Retired:     cs.core.Retired,
+		Loads:       cs.core.Loads,
+		StallCycles: cs.core.StallCycles,
+		L2Demand:    cs.l2Demand,
+		L2Misses:    cs.l2Miss,
+		DemandReqs:  cs.demandReqs,
+		PrefSent:    cs.prefSent,
+		PrefUsed:    cs.prefUsed,
+		PrefDropped: cs.prefDropped,
+	}
+	cs.snapBusDemand = cs.busDemand
+	cs.snapBusPure = cs.busPrefPure
+	cs.snapBusPromo = cs.busPrefPromo
+	cs.snapUsedAfter = cs.prefUsedAfter
+	cs.snapDropped = cs.prefDropped
+}
+
+// Run drives the system until every active core retires the target
+// instruction count (cores that finish early keep executing to preserve
+// contention, with their statistics frozen, following the paper's
+// methodology) and returns the collected results.
+func (s *System) Run() (stats.Results, error) {
+	cfg := s.cfg
+	maxCycles := cfg.maxCycles()
+	interval := s.padc.IntervalCycles()
+	dramEvery := cfg.DRAM.TickEvery
+	if dramEvery == 0 {
+		dramEvery = 4
+	}
+	const dropEvery = 128
+	apd := cfg.PADC.EnableAPD && cfg.Prefetcher != PFNone
+
+	// The first accuracy samples come early (geometric warm-up) so APS
+	// escapes its optimistic cold-start quickly, then settle to the
+	// paper's fixed interval.
+	nextInterval := interval / 8
+	if nextInterval == 0 {
+		nextInterval = interval
+	}
+
+	remaining := len(s.cores)
+	for remaining > 0 && s.cycle < maxCycles {
+		s.cycle++
+		now := s.cycle
+
+		// Rotate the tick order so no core systematically wins FCFS ties
+		// (hardware arbiters round-robin equal-priority requesters).
+		start := int(now) % len(s.cores)
+		for i := range s.cores {
+			s.cores[(start+i)%len(s.cores)].core.Tick(now)
+		}
+
+		if now%dramEvery == 0 {
+			for _, ctrl := range s.ctrls {
+				if ctrl.Occupancy() == 0 {
+					continue
+				}
+				for _, r := range ctrl.Tick(now, cfg.Cores) {
+					s.complete(r, now)
+				}
+			}
+		}
+
+		if apd && now%dropEvery == 0 {
+			s.dropExpired(now)
+		}
+
+		if now >= nextInterval {
+			s.padc.EndInterval()
+			for _, cs := range s.cores {
+				if cs.fdp != nil {
+					cs.fdp.EndInterval(cs.intervalMiss)
+				}
+				cs.intervalMiss = 0
+			}
+			if cfg.TrackAccuracyTrace {
+				s.accTrace = append(s.accTrace, s.padc.Accuracy(0))
+			}
+			if nextInterval < interval {
+				nextInterval *= 2
+			} else {
+				nextInterval += interval
+			}
+		}
+
+		for _, cs := range s.cores {
+			if !cs.frozen && cs.core.Retired >= cfg.TargetInsts {
+				s.freeze(cs)
+				remaining--
+			}
+		}
+	}
+
+	if remaining > 0 {
+		// Safety bound hit: freeze stragglers so results stay meaningful,
+		// but surface the truncation.
+		for _, cs := range s.cores {
+			if !cs.frozen {
+				s.freeze(cs)
+			}
+		}
+		return s.results(), fmt.Errorf("sim: %d core(s) hit the %d-cycle safety bound before retiring %d instructions",
+			remaining, maxCycles, cfg.TargetInsts)
+	}
+	return s.results(), nil
+}
+
+func (s *System) results() stats.Results {
+	r := stats.Results{
+		Cycles:         s.cycle,
+		Serviced:       s.serviced,
+		RowHits:        s.rowHits,
+		UsefulServiced: s.usefulServiced,
+		UsefulRowHits:  s.usefulRowHits,
+	}
+	for _, cs := range s.cores {
+		r.PerCore = append(r.PerCore, cs.snap)
+		used := cs.snapUsedAfter
+		if used > cs.snapBusPure {
+			used = cs.snapBusPure
+		}
+		r.Bus.Demand += cs.snapBusDemand
+		r.Bus.UsefulPref += cs.snapBusPromo + used
+		r.Bus.UselessPref += cs.snapBusPure - used
+		r.Dropped += cs.snapDropped
+	}
+	for _, ctrl := range s.ctrls {
+		r.BufferRejects += ctrl.RejectsFull
+	}
+	if s.histUseful != nil {
+		// Prefetches still pending classification at the end of the run
+		// were never used: useless.
+		for _, t := range s.pendingUse {
+			s.histUseless[histBucket(t)]++
+		}
+		r.ServiceHistUseful = append([]uint64(nil), s.histUseful...)
+		r.ServiceHistUseless = append([]uint64(nil), s.histUseless...)
+	}
+	r.AccuracyTrace = append([]float64(nil), s.accTrace...)
+	return r
+}
+
+// Run is the package-level convenience: build a System from cfg and run it.
+func Run(cfg Config) (stats.Results, error) {
+	s, err := New(cfg)
+	if err != nil {
+		return stats.Results{}, err
+	}
+	return s.Run()
+}

@@ -1,0 +1,192 @@
+// Package stats defines the metrics the paper reports (§5.2): per-core
+// IPC, weighted speedup (WS), harmonic mean of speedups (HS), unfairness
+// (UF), stall cycles per load (SPL), prefetch accuracy (ACC) and coverage
+// (COV), bus traffic broken down into demand / useful prefetch / useless
+// prefetch lines, and the row-buffer hit rates RBH and RBHU.
+package stats
+
+import "math"
+
+// CoreResult summarizes one core's run (frozen when the core reached its
+// instruction target).
+type CoreResult struct {
+	Benchmark   string
+	Cycles      uint64
+	Retired     uint64
+	Loads       uint64
+	StallCycles uint64
+
+	L2Demand    uint64 // demand accesses reaching the last-level cache
+	L2Misses    uint64 // demand misses (MPKI numerator)
+	DemandReqs  uint64 // misses that went to memory as demand requests
+	PrefSent    uint64 // prefetches admitted to the memory request buffer
+	PrefUsed    uint64 // useful prefetches (promoted or hit in cache)
+	PrefDropped uint64
+}
+
+// IPC returns retired instructions per cycle.
+func (c CoreResult) IPC() float64 {
+	if c.Cycles == 0 {
+		return 0
+	}
+	return float64(c.Retired) / float64(c.Cycles)
+}
+
+// MPKI returns last-level-cache demand misses per 1 000 instructions.
+func (c CoreResult) MPKI() float64 {
+	if c.Retired == 0 {
+		return 0
+	}
+	return float64(c.L2Misses) / float64(c.Retired) * 1000
+}
+
+// SPL returns instruction-window stall cycles per load.
+func (c CoreResult) SPL() float64 {
+	if c.Loads == 0 {
+		return 0
+	}
+	return float64(c.StallCycles) / float64(c.Loads)
+}
+
+// ACC returns prefetch accuracy: useful / sent.
+func (c CoreResult) ACC() float64 {
+	if c.PrefSent == 0 {
+		return 0
+	}
+	return float64(c.PrefUsed) / float64(c.PrefSent)
+}
+
+// COV returns prefetch coverage: useful / (demand memory requests +
+// useful), per §5.2.
+func (c CoreResult) COV() float64 {
+	den := float64(c.DemandReqs + c.PrefUsed)
+	if den == 0 {
+		return 0
+	}
+	return float64(c.PrefUsed) / den
+}
+
+// BusTraffic is the system's transferred cache lines by origin.
+type BusTraffic struct {
+	Demand      uint64
+	UsefulPref  uint64
+	UselessPref uint64
+}
+
+// Total returns all transferred lines.
+func (b BusTraffic) Total() uint64 { return b.Demand + b.UsefulPref + b.UselessPref }
+
+// Results is one full simulation outcome.
+type Results struct {
+	Cycles  uint64 // cycles until the last core reached its target
+	PerCore []CoreResult
+	Bus     BusTraffic
+
+	Serviced       uint64 // DRAM requests serviced
+	RowHits        uint64
+	UsefulServiced uint64 // demand + useful-prefetch services
+	UsefulRowHits  uint64
+
+	Dropped       uint64
+	BufferRejects uint64
+
+	// Optional traces for Figure 4.
+	ServiceHistUseful  []uint64 // histogram buckets of service time, useful prefetches
+	ServiceHistUseless []uint64
+	AccuracyTrace      []float64 // PAR per interval for core 0
+}
+
+// RBH returns the row-buffer hit rate over all serviced requests.
+func (r Results) RBH() float64 {
+	if r.Serviced == 0 {
+		return 0
+	}
+	return float64(r.RowHits) / float64(r.Serviced)
+}
+
+// RBHU returns the row-buffer hit rate over useful requests only (§6.1.1).
+func (r Results) RBHU() float64 {
+	if r.UsefulServiced == 0 {
+		return 0
+	}
+	return float64(r.UsefulRowHits) / float64(r.UsefulServiced)
+}
+
+// Speedup metrics over a multiprogrammed run. ipcAlone[i] is core i's
+// benchmark IPC when run alone (measured with the demand-first policy, as
+// in the paper).
+
+// IndividualSpeedups returns IPC_together / IPC_alone per core.
+func IndividualSpeedups(together []CoreResult, ipcAlone []float64) []float64 {
+	out := make([]float64, len(together))
+	for i, c := range together {
+		if ipcAlone[i] > 0 {
+			out[i] = c.IPC() / ipcAlone[i]
+		}
+	}
+	return out
+}
+
+// WS returns the weighted speedup (system throughput).
+func WS(together []CoreResult, ipcAlone []float64) float64 {
+	var ws float64
+	for _, s := range IndividualSpeedups(together, ipcAlone) {
+		ws += s
+	}
+	return ws
+}
+
+// HS returns the harmonic mean of speedups (inverse job turnaround time).
+func HS(together []CoreResult, ipcAlone []float64) float64 {
+	var inv float64
+	ss := IndividualSpeedups(together, ipcAlone)
+	for _, s := range ss {
+		if s <= 0 {
+			return 0
+		}
+		inv += 1 / s
+	}
+	return float64(len(ss)) / inv
+}
+
+// UF returns unfairness: max speedup over min speedup (§6.3.4).
+func UF(together []CoreResult, ipcAlone []float64) float64 {
+	ss := IndividualSpeedups(together, ipcAlone)
+	mn, mx := math.Inf(1), math.Inf(-1)
+	for _, s := range ss {
+		mn = math.Min(mn, s)
+		mx = math.Max(mx, s)
+	}
+	if mn <= 0 {
+		return math.Inf(1)
+	}
+	return mx / mn
+}
+
+// GeoMean returns the geometric mean of xs (used for gmean55-style
+// normalized-IPC summaries).
+func GeoMean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, x := range xs {
+		if x <= 0 {
+			return 0
+		}
+		sum += math.Log(x)
+	}
+	return math.Exp(sum / float64(len(xs)))
+}
+
+// Mean returns the arithmetic mean of xs.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}

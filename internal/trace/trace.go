@@ -1,0 +1,204 @@
+// Package trace generates the synthetic instruction streams that stand in
+// for the paper's SPEC CPU 2000/2006 Pinpoints traces (see DESIGN.md's
+// substitution table). Every generator is a pure function of the
+// instruction index: the same (seed, index) always yields the same
+// instruction. That determinism makes multiprogrammed runs reproducible
+// and lets the runahead-execution core model replay wrong-path work by
+// simply re-walking indices.
+//
+// A Gen interleaves a memory-op Pattern with compute instructions; the
+// Pattern vocabulary (streams, strides, bursts, random, pointer chasing,
+// loops, phases, mixes) spans the behaviors that distinguish the paper's
+// prefetch-friendly, prefetch-unfriendly, and insensitive benchmark
+// classes.
+package trace
+
+// Inst is one dynamic instruction.
+type Inst struct {
+	Mem  bool
+	Line uint64 // cache-line address (only when Mem)
+	PC   uint64 // synthetic PC for PC-indexed prefetchers
+	Dep  bool   // this load consumes the previous load's value
+}
+
+// MemOp is the m-th memory operation of a Pattern.
+type MemOp struct {
+	Line uint64
+	PC   uint64
+	Dep  bool
+}
+
+// Pattern produces the memory-op subsequence of a stream.
+type Pattern interface {
+	Name() string
+	MemOp(m uint64) MemOp
+}
+
+// Gen is a full instruction stream: one memory op every MemEvery
+// instructions, compute otherwise; each line the Pattern produces is
+// touched Repeat times in a row (spatial locality within a cache line,
+// absorbed by the L1), so the last-level miss intensity is roughly
+// 1000/(MemEvery*Repeat) MPKI for always-missing patterns.
+type Gen struct {
+	Pattern  Pattern
+	MemEvery uint64
+	Repeat   uint64 // consecutive touches per line; 0 means 1
+}
+
+// At returns instruction i.
+func (g Gen) At(i uint64) Inst {
+	if g.MemEvery == 0 || i%g.MemEvery != 0 {
+		return Inst{}
+	}
+	m := i / g.MemEvery
+	rep := g.Repeat
+	if rep == 0 {
+		rep = 1
+	}
+	op := g.Pattern.MemOp(m / rep)
+	// A dependence (pointer chase) binds only the first touch of a line;
+	// the rest are L1 hits on the fetched line.
+	return Inst{Mem: true, Line: op.Line, PC: op.PC, Dep: op.Dep && m%rep == 0}
+}
+
+// mix64 is SplitMix64's finalizer over a seeded counter; the workhorse for
+// deterministic pseudo-randomness indexed by position.
+func mix64(seed, x uint64) uint64 {
+	x += seed + 0x9e3779b97f4a7c15
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// StreamPattern interleaves Streams concurrent sequential streams. Each
+// stream walks StreamLen consecutive lines from a pseudo-random region
+// start, then jumps to a fresh region. Long StreamLen mimics libquantum-
+// class near-perfect streams; short StreamLen (3–8) produces exactly the
+// "stream prefetcher trains, then the stream dies" behavior that makes
+// galgel/ammp-class benchmarks prefetch-unfriendly.
+type StreamPattern struct {
+	Seed      uint64
+	Streams   uint64 // concurrent streams (≥1)
+	StreamLen uint64 // lines per region before jumping (≥1)
+	WSLines   uint64 // working-set size in lines
+	StrideLn  uint64 // lines between consecutive accesses (1 = unit)
+}
+
+// Name implements Pattern.
+func (p StreamPattern) Name() string { return "stream" }
+
+// MemOp implements Pattern.
+func (p StreamPattern) MemOp(m uint64) MemOp {
+	s := m % p.Streams
+	k := m / p.Streams
+	region := k / p.StreamLen
+	off := (k % p.StreamLen) * max64(1, p.StrideLn)
+	base := mix64(p.Seed, s<<32|region) % p.WSLines
+	return MemOp{Line: (base + off) % p.WSLines, PC: p.Seed<<8 | s}
+}
+
+// RandomPattern touches uniformly random lines in a working set; with a
+// working set far larger than the cache this is a high-MPKI,
+// prefetch-hostile stream (art-class).
+type RandomPattern struct {
+	Seed    uint64
+	WSLines uint64
+	Dep     bool // make every load depend on the previous one (mcf-class)
+}
+
+// Name implements Pattern.
+func (p RandomPattern) Name() string {
+	if p.Dep {
+		return "chase"
+	}
+	return "random"
+}
+
+// MemOp implements Pattern.
+func (p RandomPattern) MemOp(m uint64) MemOp {
+	return MemOp{Line: mix64(p.Seed, m) % p.WSLines, PC: p.Seed << 8, Dep: p.Dep}
+}
+
+// LoopPattern walks Len consecutive lines over and over — a small, hot
+// working set that caches absorb after one lap (class-0 behavior). The
+// base offset is seeded so different loops do not alias.
+type LoopPattern struct {
+	Seed    uint64
+	Len     uint64
+	WSLines uint64
+}
+
+// Name implements Pattern.
+func (p LoopPattern) Name() string { return "loop" }
+
+// MemOp implements Pattern.
+func (p LoopPattern) MemOp(m uint64) MemOp {
+	return MemOp{Line: mix64(p.Seed, 0)%p.WSLines + m%p.Len, PC: p.Seed << 8}
+}
+
+// ShuffledLoopPattern repeats a fixed pseudo-random sequence of Len lines —
+// the recurring miss sequence a Markov (temporal-correlation) prefetcher
+// can learn but a stream prefetcher cannot.
+type ShuffledLoopPattern struct {
+	Seed    uint64
+	Len     uint64
+	WSLines uint64
+}
+
+// Name implements Pattern.
+func (p ShuffledLoopPattern) Name() string { return "shuffled-loop" }
+
+// MemOp implements Pattern.
+func (p ShuffledLoopPattern) MemOp(m uint64) MemOp {
+	return MemOp{Line: mix64(p.Seed, m%p.Len) % p.WSLines, PC: p.Seed << 8}
+}
+
+// PhasedPattern alternates between two sub-patterns — ALen memory ops of
+// A, then BLen of B — reproducing the strong accuracy phase behavior the
+// paper measures for milc (Figure 4(b)).
+type PhasedPattern struct {
+	A, B       Pattern
+	ALen, BLen uint64
+}
+
+// Name implements Pattern.
+func (p PhasedPattern) Name() string { return "phased(" + p.A.Name() + "," + p.B.Name() + ")" }
+
+// MemOp implements Pattern.
+func (p PhasedPattern) MemOp(m uint64) MemOp {
+	period := p.ALen + p.BLen
+	cycle, off := m/period, m%period
+	if off < p.ALen {
+		return p.A.MemOp(cycle*p.ALen + off)
+	}
+	return p.B.MemOp(cycle*p.BLen + (off - p.ALen))
+}
+
+// MixPattern draws each memory op from A with probability NumA/Den, else
+// from B, deterministically by index.
+type MixPattern struct {
+	Seed      uint64
+	A, B      Pattern
+	NumA, Den uint64
+}
+
+// Name implements Pattern.
+func (p MixPattern) Name() string { return "mix(" + p.A.Name() + "," + p.B.Name() + ")" }
+
+// MemOp implements Pattern.
+func (p MixPattern) MemOp(m uint64) MemOp {
+	if mix64(p.Seed^0xabcd, m)%p.Den < p.NumA {
+		return p.A.MemOp(m)
+	}
+	return p.B.MemOp(m)
+}
+
+func max64(a, b uint64) uint64 {
+	if a > b {
+		return a
+	}
+	return b
+}

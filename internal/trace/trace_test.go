@@ -1,0 +1,154 @@
+package trace
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestGenDeterministic(t *testing.T) {
+	g := Gen{Pattern: StreamPattern{Seed: 5, Streams: 3, StreamLen: 100, WSLines: 1 << 16, StrideLn: 1}, MemEvery: 4, Repeat: 3}
+	f := func(i uint32) bool {
+		a, b := g.At(uint64(i)), g.At(uint64(i))
+		return a == b
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGenMemEvery(t *testing.T) {
+	g := Gen{Pattern: RandomPattern{Seed: 1, WSLines: 1000}, MemEvery: 5}
+	for i := uint64(0); i < 100; i++ {
+		inst := g.At(i)
+		if inst.Mem != (i%5 == 0) {
+			t.Fatalf("instruction %d: Mem=%v", i, inst.Mem)
+		}
+	}
+}
+
+func TestGenRepeatGroupsLines(t *testing.T) {
+	g := Gen{Pattern: RandomPattern{Seed: 2, WSLines: 1 << 20}, MemEvery: 1, Repeat: 4}
+	for grp := uint64(0); grp < 20; grp++ {
+		first := g.At(grp * 4).Line
+		for k := uint64(1); k < 4; k++ {
+			if got := g.At(grp*4 + k).Line; got != first {
+				t.Fatalf("group %d touch %d: line %d != %d", grp, k, got, first)
+			}
+		}
+	}
+}
+
+func TestGenDepOnlyOnGroupStart(t *testing.T) {
+	g := Gen{Pattern: RandomPattern{Seed: 3, WSLines: 1 << 20, Dep: true}, MemEvery: 1, Repeat: 4}
+	for i := uint64(0); i < 40; i++ {
+		inst := g.At(i)
+		if inst.Dep != (i%4 == 0) {
+			t.Fatalf("instruction %d: Dep=%v", i, inst.Dep)
+		}
+	}
+}
+
+func TestStreamPatternIsSequentialPerStream(t *testing.T) {
+	p := StreamPattern{Seed: 7, Streams: 2, StreamLen: 50, WSLines: 1 << 20, StrideLn: 1}
+	// Within one stream (every other op), consecutive ops advance by one
+	// line until a region jump.
+	prev := p.MemOp(0).Line
+	jumps := 0
+	for k := uint64(1); k < 100; k++ {
+		cur := p.MemOp(2 * k).Line // stream 0
+		if cur != prev+1 {
+			jumps++
+		}
+		prev = cur
+	}
+	if jumps > 3 {
+		t.Fatalf("stream 0 should be near-sequential, saw %d jumps in 100 ops", jumps)
+	}
+}
+
+func TestStreamPatternDistinctPCsPerStream(t *testing.T) {
+	p := StreamPattern{Seed: 7, Streams: 4, StreamLen: 50, WSLines: 1 << 20, StrideLn: 1}
+	pcs := map[uint64]bool{}
+	for m := uint64(0); m < 4; m++ {
+		pcs[p.MemOp(m).PC] = true
+	}
+	if len(pcs) != 4 {
+		t.Fatalf("want 4 distinct PCs, got %d", len(pcs))
+	}
+}
+
+func TestLoopPatternPeriodic(t *testing.T) {
+	p := LoopPattern{Seed: 9, Len: 32, WSLines: 1 << 12}
+	for m := uint64(0); m < 100; m++ {
+		if p.MemOp(m).Line != p.MemOp(m+32).Line {
+			t.Fatalf("loop not periodic at %d", m)
+		}
+	}
+	// Sequential within a lap.
+	if p.MemOp(1).Line != p.MemOp(0).Line+1 {
+		t.Fatal("loop should walk consecutive lines")
+	}
+}
+
+func TestShuffledLoopRecurrence(t *testing.T) {
+	p := ShuffledLoopPattern{Seed: 11, Len: 16, WSLines: 1 << 12}
+	distinct := map[uint64]bool{}
+	for m := uint64(0); m < 16; m++ {
+		distinct[p.MemOp(m).Line] = true
+		if p.MemOp(m).Line != p.MemOp(m+16).Line {
+			t.Fatal("shuffled loop not periodic")
+		}
+	}
+	if len(distinct) < 12 {
+		t.Fatalf("shuffled loop should touch mostly distinct lines, got %d of 16", len(distinct))
+	}
+}
+
+func TestRandomPatternStaysInWorkingSet(t *testing.T) {
+	p := RandomPattern{Seed: 13, WSLines: 500}
+	f := func(m uint32) bool { return p.MemOp(uint64(m)).Line < 500 }
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMixPatternRatio(t *testing.T) {
+	a := LoopPattern{Seed: 1, Len: 4, WSLines: 8}
+	b := RandomPattern{Seed: 2, WSLines: 1 << 20}
+	p := MixPattern{Seed: 3, A: a, B: b, NumA: 7, Den: 10}
+	fromA := 0
+	const n = 10_000
+	for m := uint64(0); m < n; m++ {
+		if p.MemOp(m).Line < 8 {
+			fromA++
+		}
+	}
+	ratio := float64(fromA) / n
+	if ratio < 0.65 || ratio > 0.75 {
+		t.Fatalf("mix ratio %.3f outside 0.7±0.05", ratio)
+	}
+}
+
+func TestPhasedPatternAlternates(t *testing.T) {
+	a := LoopPattern{Seed: 1, Len: 4, WSLines: 8}      // lines < 8
+	b := RandomPattern{Seed: 2, WSLines: 1 << 20}      // lines mostly >= 8
+	p := PhasedPattern{A: a, B: b, ALen: 10, BLen: 20} // period 30
+	for m := uint64(0); m < 10; m++ {
+		if p.MemOp(m).Line >= 8 {
+			t.Fatalf("op %d should come from A", m)
+		}
+	}
+	inB := 0
+	for m := uint64(10); m < 30; m++ {
+		if p.MemOp(m).Line >= 8 {
+			inB++
+		}
+	}
+	if inB < 18 {
+		t.Fatalf("phase B ops mostly from B, got %d of 20", inB)
+	}
+	// A resumes where it left off across periods.
+	if p.MemOp(30).Line != p.MemOp(9).Line+1 && p.MemOp(30).Line >= 8 {
+		t.Fatal("phase A did not resume")
+	}
+}

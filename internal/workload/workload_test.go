@@ -1,0 +1,111 @@
+package workload
+
+import (
+	"testing"
+)
+
+func TestSuiteShape(t *testing.T) {
+	suite := Suite()
+	if len(suite) != 28 {
+		t.Fatalf("named suite should have 28 profiles (Table 5), got %d", len(suite))
+	}
+	classes := map[Class]int{}
+	names := map[string]bool{}
+	for _, p := range suite {
+		if names[p.Name] {
+			t.Fatalf("duplicate profile %q", p.Name)
+		}
+		names[p.Name] = true
+		classes[p.Class]++
+		if p.Gen.MemEvery == 0 {
+			t.Fatalf("%s: zero MemEvery", p.Name)
+		}
+	}
+	if classes[Friendly] < 10 || classes[Unfriendly] < 4 || classes[Insensitive] < 3 {
+		t.Fatalf("class balance off: %v", classes)
+	}
+}
+
+func TestExtendedIs55(t *testing.T) {
+	if got := len(Extended()); got != 55 {
+		t.Fatalf("extended suite should match the paper's 55 benchmarks, got %d", got)
+	}
+	friendly := 0
+	for _, p := range Extended() {
+		if p.Class == Friendly {
+			friendly++
+		}
+	}
+	// The paper: 29 of 55 are class 1.
+	if friendly != 29 {
+		t.Fatalf("want 29 prefetch-friendly profiles, got %d", friendly)
+	}
+}
+
+func TestByName(t *testing.T) {
+	p, err := ByName("libquantum")
+	if err != nil || p.Name != "libquantum" || p.Class != Friendly {
+		t.Fatalf("ByName: %+v %v", p, err)
+	}
+	if _, err := ByName("no-such-benchmark"); err == nil {
+		t.Fatal("unknown benchmark accepted")
+	}
+}
+
+func TestMixesDeterministicAndSized(t *testing.T) {
+	a := Mixes(5, 4, 42)
+	b := Mixes(5, 4, 42)
+	if len(a) != 5 {
+		t.Fatalf("want 5 mixes, got %d", len(a))
+	}
+	for i := range a {
+		if len(a[i]) != 4 {
+			t.Fatalf("mix %d has %d members", i, len(a[i]))
+		}
+		for j := range a[i] {
+			if a[i][j].Name != b[i][j].Name {
+				t.Fatal("mixes not deterministic")
+			}
+		}
+	}
+	c := Mixes(5, 4, 43)
+	same := true
+	for i := range a {
+		for j := range a[i] {
+			if a[i][j].Name != c[i][j].Name {
+				same = false
+			}
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical mixes")
+	}
+}
+
+func TestNamesSortedComplete(t *testing.T) {
+	names := Names()
+	if len(names) != 55 {
+		t.Fatalf("Names() should list 55, got %d", len(names))
+	}
+	for i := 1; i < len(names); i++ {
+		if names[i-1] >= names[i] {
+			t.Fatal("names not sorted")
+		}
+	}
+}
+
+func TestProfilesDisjointSeeds(t *testing.T) {
+	// Two distinct profiles must not produce the identical line sequence.
+	a := MustByName("swim").Gen
+	b := MustByName("bwaves").Gen
+	same := 0
+	for i := uint64(0); i < 1000; i++ {
+		ia, ib := a.At(i), b.At(i)
+		if ia.Mem && ib.Mem && ia.Line == ib.Line {
+			same++
+		}
+	}
+	if same > 10 {
+		t.Fatalf("profiles overlap suspiciously: %d identical lines", same)
+	}
+}

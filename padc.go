@@ -1,0 +1,246 @@
+// Package padc is a from-scratch reproduction of "Prefetch-Aware DRAM
+// Controllers" (Lee, Mutlu, Narasiman, Patt — MICRO-41, 2008): a
+// cycle-level chip-multiprocessor and DDR3 DRAM simulator whose memory
+// controller implements the paper's Adaptive Prefetch Scheduling (APS) and
+// Adaptive Prefetch Dropping (APD) mechanisms alongside the rigid
+// demand-first / demand-prefetch-equal / prefetch-first baselines.
+//
+// The package is the stable public surface over the internal substrates
+// (DRAM, caches, prefetchers, cores, synthetic workloads). Typical use:
+//
+//	res, err := padc.Run(padc.DefaultSystem(4), []string{"swim", "art", "libquantum", "milc"})
+//
+// or regenerate any of the paper's figures and tables:
+//
+//	out, err := padc.Experiment("fig16", false)
+package padc
+
+import (
+	"fmt"
+	"sort"
+
+	"padc/internal/core"
+	"padc/internal/memctrl"
+	"padc/internal/sim"
+	"padc/internal/stats"
+	"padc/internal/workload"
+)
+
+// Policy selects how the memory controller prioritizes demands versus
+// prefetches.
+type Policy int
+
+const (
+	// DemandPrefEqual treats prefetches like demands (plain FR-FCFS).
+	DemandPrefEqual Policy = iota
+	// DemandFirst always prioritizes demand requests.
+	DemandFirst
+	// PrefetchFirst always prioritizes prefetch requests.
+	PrefetchFirst
+	// APS adapts priority to measured per-core prefetch accuracy; with
+	// SystemConfig.APD enabled this is the full PADC.
+	APS
+	// APSRank adds the shortest-job ranking stage (§6.5) to APS.
+	APSRank
+)
+
+// Prefetcher selects the per-core prefetch engine.
+type Prefetcher int
+
+const (
+	NoPrefetcher Prefetcher = iota
+	Stream                  // POWER4/5-style stream prefetcher (paper baseline)
+	Stride                  // PC-based stride
+	CDC                     // CZone/Delta-Correlation
+	Markov                  // correlation (Markov) prefetcher
+)
+
+// Filter optionally wraps the prefetcher with one of the §6.12 comparison
+// mechanisms.
+type Filter int
+
+const (
+	NoFilter Filter = iota
+	DDPF            // dynamic data prefetch filtering
+	FDP             // feedback-directed prefetching
+)
+
+// SystemConfig describes a simulated machine. DefaultSystem returns the
+// paper's baseline; zero-valued fields of a hand-built config are invalid.
+type SystemConfig struct {
+	Cores      int
+	Policy     Policy
+	Prefetcher Prefetcher
+	Filter     Filter
+
+	APD     bool // adaptive prefetch dropping (with APS this forms PADC)
+	Urgency bool // priority rule 3 (boost demands of inaccurate cores)
+
+	Channels    int    // independent memory controllers
+	RowBufferKB uint64 // DRAM row-buffer size per bank
+	L2KB        uint64 // last-level cache per core (or total when SharedL2)
+	SharedL2    bool
+	ClosedRow   bool
+	Permutation bool // permutation-based bank interleaving
+	Runahead    bool
+
+	TargetInsts uint64 // instructions each core retires before stats freeze
+}
+
+// DefaultSystem returns the paper's baseline machine for ncores in
+// {1, 2, 4, 8}, running the full PADC (APS + APD + urgency).
+func DefaultSystem(ncores int) SystemConfig {
+	base := sim.Baseline(ncores)
+	return SystemConfig{
+		Cores:       ncores,
+		Policy:      APS,
+		Prefetcher:  Stream,
+		APD:         true,
+		Urgency:     true,
+		Channels:    1,
+		RowBufferKB: base.DRAM.RowBytes >> 10,
+		L2KB:        base.L2.Bytes >> 10,
+		TargetInsts: base.TargetInsts,
+	}
+}
+
+// toSim lowers the public config onto the internal simulator config.
+func (c SystemConfig) toSim() (sim.Config, error) {
+	cfg := sim.Baseline(c.Cores)
+	cfg.Policy = map[Policy]memctrl.Policy{
+		DemandPrefEqual: memctrl.DemandPrefEqual,
+		DemandFirst:     memctrl.DemandFirst,
+		PrefetchFirst:   memctrl.PrefetchFirst,
+		APS:             memctrl.APS,
+		APSRank:         memctrl.APSRank,
+	}[c.Policy]
+	cfg.Prefetcher = map[Prefetcher]sim.PrefetcherKind{
+		NoPrefetcher: sim.PFNone,
+		Stream:       sim.PFStream,
+		Stride:       sim.PFStride,
+		CDC:          sim.PFCDC,
+		Markov:       sim.PFMarkov,
+	}[c.Prefetcher]
+	cfg.Filter = map[Filter]sim.FilterKind{
+		NoFilter: sim.FilterNone,
+		DDPF:     sim.FilterDDPF,
+		FDP:      sim.FilterFDP,
+	}[c.Filter]
+
+	pc := core.DefaultConfig()
+	pc.EnableAPD = c.APD
+	pc.EnableUrgency = c.Urgency
+	cfg.PADC = pc
+
+	if c.Channels > 0 {
+		cfg.DRAM.Channels = c.Channels
+	}
+	if c.RowBufferKB > 0 {
+		cfg.DRAM.RowBytes = c.RowBufferKB << 10
+	}
+	if c.L2KB > 0 {
+		cfg.L2.Bytes = c.L2KB << 10
+	}
+	cfg.SharedL2 = c.SharedL2
+	if c.SharedL2 {
+		cfg.L2.Ways = 4 * c.Cores
+		cfg.MSHR = cfg.BufferSlots
+	}
+	cfg.DRAM.ClosedRow = c.ClosedRow
+	cfg.DRAM.Permutation = c.Permutation
+	cfg.Core.Runahead = c.Runahead
+	if c.TargetInsts > 0 {
+		cfg.TargetInsts = c.TargetInsts
+	}
+	// Full validation (including the workload) happens in sim.Run.
+	return cfg, nil
+}
+
+// CoreResult is one core's outcome.
+type CoreResult struct {
+	Benchmark    string
+	IPC          float64
+	MPKI         float64
+	SPL          float64
+	PrefAccuracy float64
+	PrefCoverage float64
+	PrefSent     uint64
+	PrefDropped  uint64
+}
+
+// Result is a full simulation outcome.
+type Result struct {
+	Cycles     uint64
+	Cores      []CoreResult
+	BusDemand  uint64
+	BusUseful  uint64
+	BusUseless uint64
+	RowHitRate float64
+	RBHU       float64
+	Dropped    uint64
+}
+
+// BusTotal returns total transferred cache lines.
+func (r Result) BusTotal() uint64 { return r.BusDemand + r.BusUseful + r.BusUseless }
+
+// Benchmarks returns the names of the 55 synthetic benchmarks.
+func Benchmarks() []string { return workload.Names() }
+
+// Run simulates the given benchmarks (one per core) on the configured
+// system until every core retires its instruction target.
+func Run(c SystemConfig, benchmarks []string) (Result, error) {
+	cfg, err := c.toSim()
+	if err != nil {
+		return Result{}, err
+	}
+	if len(benchmarks) == 0 || len(benchmarks) > c.Cores {
+		return Result{}, fmt.Errorf("padc: need 1..%d benchmarks, got %d", c.Cores, len(benchmarks))
+	}
+	for _, b := range benchmarks {
+		p, err := workload.ByName(b)
+		if err != nil {
+			return Result{}, err
+		}
+		cfg.Workload = append(cfg.Workload, p)
+	}
+	res, err := sim.Run(cfg)
+	if err != nil {
+		return Result{}, err
+	}
+	return lower(res), nil
+}
+
+func lower(res stats.Results) Result {
+	out := Result{
+		Cycles:     res.Cycles,
+		BusDemand:  res.Bus.Demand,
+		BusUseful:  res.Bus.UsefulPref,
+		BusUseless: res.Bus.UselessPref,
+		RowHitRate: res.RBH(),
+		RBHU:       res.RBHU(),
+		Dropped:    res.Dropped,
+	}
+	for _, c := range res.PerCore {
+		out.Cores = append(out.Cores, CoreResult{
+			Benchmark:    c.Benchmark,
+			IPC:          c.IPC(),
+			MPKI:         c.MPKI(),
+			SPL:          c.SPL(),
+			PrefAccuracy: c.ACC(),
+			PrefCoverage: c.COV(),
+			PrefSent:     c.PrefSent,
+			PrefDropped:  c.PrefDropped,
+		})
+	}
+	return out
+}
+
+// sortedKeys is shared by the experiment registry.
+func sortedKeys[M ~map[string]V, V any](m M) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
