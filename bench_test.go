@@ -166,7 +166,10 @@ func BenchmarkAblationAddressMapping(b *testing.B) {
 
 // BenchmarkSimulatorThroughput measures raw simulation speed (cycles per
 // second) of the 4-core baseline — the number that matters when scaling
-// experiments up.
+// experiments up. Telemetry is nil here, so this is also the
+// disabled-instrumentation path: compare against
+// BenchmarkSimulatorThroughputTelemetry for the observability overhead
+// (<2% is the budget for the disabled path vs. the pre-telemetry seed).
 func BenchmarkSimulatorThroughput(b *testing.B) {
 	var cycles uint64
 	for i := 0; i < b.N; i++ {
@@ -175,6 +178,27 @@ func BenchmarkSimulatorThroughput(b *testing.B) {
 		res, err := Run(cfg, []string{"swim", "art", "libquantum", "milc"})
 		if err != nil {
 			b.Fatal(err)
+		}
+		cycles += res.Cycles
+	}
+	b.ReportMetric(float64(cycles)/b.Elapsed().Seconds(), "cycles/s")
+}
+
+// BenchmarkSimulatorThroughputTelemetry is the same run with full
+// instrumentation: metric registry, 10K-cycle epoch sampling and the
+// event ring all enabled.
+func BenchmarkSimulatorThroughputTelemetry(b *testing.B) {
+	var cycles uint64
+	for i := 0; i < b.N; i++ {
+		cfg := DefaultSystem(4)
+		cfg.TargetInsts = 50_000
+		cfg.Telemetry = NewTelemetry(10_000)
+		res, err := Run(cfg, []string{"swim", "art", "libquantum", "milc"})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(cfg.Telemetry.SeriesData().Rows) == 0 {
+			b.Fatal("telemetry produced no epoch samples")
 		}
 		cycles += res.Cycles
 	}

@@ -7,6 +7,13 @@
 //	padcsim -exp fig16 [-full]                # regenerate a paper figure/table
 //	padcsim -bench swim,art -policy padc      # simulate a workload mix
 //	padcsim -exp all [-full]                  # everything (slow with -full)
+//
+// Telemetry (with -bench): -epoch sets the sampling period, -metrics
+// writes the epoch time series as CSV, -trace writes a Chrome
+// trace_event JSON (chrome://tracing, Perfetto), -events writes the raw
+// event ring as JSONL.
+//
+//	padcsim -bench swim,art -policy padc -metrics out.csv -trace out.json -epoch 10000
 package main
 
 import (
@@ -16,6 +23,8 @@ import (
 	"strings"
 
 	"padc"
+	"padc/internal/exp"
+	"padc/internal/telemetry"
 )
 
 func main() {
@@ -29,6 +38,11 @@ func main() {
 		insts   = flag.Uint64("insts", 0, "instructions per core (0 = default)")
 		cores   = flag.Int("cores", 0, "cores to provision (0 = number of benchmarks)")
 		verbose = flag.Bool("v", false, "per-core details")
+
+		metricsOut = flag.String("metrics", "", "write the epoch metric time series as CSV to this file")
+		traceOut   = flag.String("trace", "", "write a Chrome trace_event JSON to this file")
+		eventsOut  = flag.String("events", "", "write the raw event ring as JSONL to this file")
+		epoch      = flag.Uint64("epoch", 10_000, "telemetry sampling period in cycles")
 	)
 	flag.Parse()
 
@@ -72,11 +86,22 @@ func main() {
 		if err := applyPrefetcher(&cfg, *pf); err != nil {
 			fatal(err)
 		}
+		var tel *telemetry.Telemetry
+		if *metricsOut != "" || *traceOut != "" || *eventsOut != "" {
+			tel = padc.NewTelemetry(*epoch)
+			cfg.Telemetry = tel
+		}
 		res, err := padc.Run(cfg, names)
 		if err != nil {
 			fatal(err)
 		}
 		report(res, *verbose)
+		if tel != nil {
+			if err := exportTelemetry(tel, *metricsOut, *traceOut, *eventsOut); err != nil {
+				fatal(err)
+			}
+			fmt.Print(exp.TelemetryTable(tel))
+		}
 	default:
 		flag.Usage()
 		os.Exit(2)
@@ -137,6 +162,31 @@ func report(res padc.Result, verbose bool) {
 		}
 		fmt.Println()
 	}
+}
+
+// exportTelemetry writes the requested telemetry artifacts.
+func exportTelemetry(tel *telemetry.Telemetry, metrics, trace, events string) error {
+	write := func(path string, fn func(f *os.File) error) error {
+		if path == "" {
+			return nil
+		}
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		if err := fn(f); err != nil {
+			f.Close()
+			return err
+		}
+		return f.Close()
+	}
+	if err := write(metrics, func(f *os.File) error { return tel.WriteCSV(f) }); err != nil {
+		return err
+	}
+	if err := write(trace, func(f *os.File) error { return tel.WriteChromeTrace(f) }); err != nil {
+		return err
+	}
+	return write(events, func(f *os.File) error { return tel.WriteJSONL(f) })
 }
 
 func fatal(err error) {

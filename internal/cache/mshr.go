@@ -13,6 +13,7 @@ type MSHR struct {
 	// Stats.
 	Allocs     uint64
 	FullStalls uint64 // allocation attempts rejected because the file was full
+	HighWater  int    // peak simultaneous outstanding misses
 }
 
 // MSHREntry tracks one outstanding miss.
@@ -60,6 +61,9 @@ func (m *MSHR) Allocate(lineAddr uint64, prefetch bool) *MSHREntry {
 	e := &MSHREntry{LineAddr: lineAddr, Prefetch: prefetch}
 	m.entries[lineAddr] = e
 	m.Allocs++
+	if len(m.entries) > m.HighWater {
+		m.HighWater = len(m.entries)
+	}
 	return e
 }
 

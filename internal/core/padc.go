@@ -7,7 +7,11 @@
 // Tables 1–2).
 package core
 
-import "fmt"
+import (
+	"fmt"
+
+	"padc/internal/telemetry"
+)
 
 // Config holds the PADC knobs. Zero values fall back to the paper's
 // evaluation settings: 85% promotion threshold, 100K-cycle accuracy
@@ -84,6 +88,9 @@ type coreMeter struct {
 type PADC struct {
 	cfg    Config
 	meters []coreMeter
+
+	tel   *telemetry.Telemetry // nil unless Instrument was called
+	clock func() uint64        // current cycle, for event timestamps
 }
 
 // New builds PADC state for ncores cores.
@@ -97,6 +104,22 @@ func New(ncores int, cfg Config) *PADC {
 
 // Config returns the effective configuration after defaulting.
 func (p *PADC) Config() Config { return p.cfg }
+
+// Instrument registers each core's accuracy estimate as a
+// "core<i>/acc_estimate" gauge and arms promotion-flip events: whenever an
+// interval rollover moves a core's PAR across the APS promotion threshold,
+// an EvPromotion event is emitted at clock()'s cycle. A nil tel is a
+// no-op.
+func (p *PADC) Instrument(tel *telemetry.Telemetry, clock func() uint64) {
+	if tel == nil {
+		return
+	}
+	p.tel, p.clock = tel, clock
+	for i := range p.meters {
+		m := &p.meters[i]
+		tel.GaugeFunc(fmt.Sprintf("core%d/acc_estimate", i), func() float64 { return m.par })
+	}
+}
 
 // NotePrefetchSent increments the core's PSC (a prefetch entered the
 // memory request buffer).
@@ -114,6 +137,7 @@ func (p *PADC) NotePrefetchUsed(core int) { p.meters[core].puc++ }
 func (p *PADC) EndInterval() {
 	for i := range p.meters {
 		m := &p.meters[i]
+		wasCritical := m.par >= p.cfg.PromotionThreshold
 		if m.psc > 0 {
 			m.par = float64(m.puc) / float64(m.psc)
 			// PUC can briefly exceed PSC across interval boundaries (a
@@ -124,6 +148,19 @@ func (p *PADC) EndInterval() {
 			}
 		}
 		m.psc, m.puc = 0, 0
+		if p.tel != nil {
+			if nowCritical := m.par >= p.cfg.PromotionThreshold; nowCritical != wasCritical {
+				promoted := uint64(0)
+				if nowCritical {
+					promoted = 1
+				}
+				p.tel.Emit(telemetry.Event{
+					Cycle: p.clock(), Kind: telemetry.EvPromotion,
+					Core: int16(i), Chan: -1, Bank: int16(promoted),
+					A: uint64(m.par * 1e6), // new PAR in ppm
+				})
+			}
+		}
 	}
 }
 

@@ -170,6 +170,13 @@ type Channel struct {
 	Banks     []Bank
 	busUntil  uint64 // data bus reserved through this cycle
 	completed uint64
+
+	// Command stats for telemetry: row activations, precharges (explicit
+	// on a conflict, hidden under the closed-row policy), and data-bus
+	// occupancy in cycles.
+	Activations   uint64
+	Precharges    uint64
+	BusBusyCycles uint64
 }
 
 // NewChannel builds the banks for one channel of cfg.
@@ -216,11 +223,16 @@ func (ch *Channel) Issue(bank int, row, now uint64, keepOpen bool) (finish uint6
 		b.Hits++
 	case RowClosed:
 		b.Closed++
+		ch.Activations++
 	default:
 		b.Conflicts++
+		ch.Activations++
+		ch.Precharges++
 	}
+	ch.BusBusyCycles += ch.cfg.Timing.Burst
 
 	if ch.cfg.ClosedRow && !keepOpen {
+		ch.Precharges++ // the closed-row policy's hidden precharge
 		b.OpenRow = -1
 	} else {
 		b.OpenRow = int64(row)
@@ -232,13 +244,21 @@ func (ch *Channel) Issue(bank int, row, now uint64, keepOpen bool) (finish uint6
 // Completed returns the number of requests this channel has serviced.
 func (ch *Channel) Completed() uint64 { return ch.completed }
 
-// RowHitRate returns the fraction of serviced requests that were row hits.
-func (ch *Channel) RowHitRate() float64 {
-	var hits, total uint64
+// Counts returns the channel-wide row-buffer outcome totals summed over
+// banks: (hits, closed, conflicts).
+func (ch *Channel) Counts() (hits, closed, conflicts uint64) {
 	for i := range ch.Banks {
 		hits += ch.Banks[i].Hits
-		total += ch.Banks[i].Hits + ch.Banks[i].Closed + ch.Banks[i].Conflicts
+		closed += ch.Banks[i].Closed
+		conflicts += ch.Banks[i].Conflicts
 	}
+	return hits, closed, conflicts
+}
+
+// RowHitRate returns the fraction of serviced requests that were row hits.
+func (ch *Channel) RowHitRate() float64 {
+	hits, closed, conflicts := ch.Counts()
+	total := hits + closed + conflicts
 	if total == 0 {
 		return 0
 	}

@@ -16,6 +16,7 @@ import (
 	"padc/internal/memctrl"
 	"padc/internal/sim"
 	"padc/internal/stats"
+	"padc/internal/telemetry"
 	"padc/internal/workload"
 )
 
@@ -89,6 +90,31 @@ func sum(xs []int) int {
 	t := 0
 	for _, x := range xs {
 		t += x
+	}
+	return t
+}
+
+// TelemetryTable renders a run's telemetry summary in the experiment
+// Table shape, so runners and the CLI can embed observability data under
+// their result tables.
+func TelemetryTable(tel *telemetry.Telemetry) *Table {
+	t := &Table{Title: "telemetry", Header: []string{"metric", "value"}}
+	if tel == nil {
+		t.Add("telemetry", "disabled")
+		return t
+	}
+	for _, name := range tel.Names() {
+		v, _ := tel.Value(name)
+		t.Add(name, fmt.Sprintf("%.4g", v))
+	}
+	counts := tel.EventCounts()
+	kinds := make([]string, 0, len(counts))
+	for k := range counts {
+		kinds = append(kinds, k)
+	}
+	sort.Strings(kinds)
+	for _, k := range kinds {
+		t.Add("events/"+k, fmt.Sprintf("%d", counts[k]))
 	}
 	return t
 }

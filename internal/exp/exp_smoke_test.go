@@ -3,6 +3,9 @@ package exp
 import (
 	"strings"
 	"testing"
+
+	"padc/internal/telemetry"
+	"padc/internal/workload"
 )
 
 func tinyScale() Scale { return Scale{Insts: 60_000, Mixes2: 2, Mixes4: 2, Mixes8: 2} }
@@ -42,6 +45,25 @@ func TestTable1Cost(t *testing.T) {
 	out := tab.String()
 	if !strings.Contains(out, "AGE") || !strings.Contains(out, "PSC") {
 		t.Fatalf("missing cost fields:\n%s", out)
+	}
+	t.Logf("\n%s", tab)
+}
+
+func TestTelemetryTable(t *testing.T) {
+	if got := TelemetryTable(nil).String(); !strings.Contains(got, "disabled") {
+		t.Fatalf("nil telemetry table:\n%s", got)
+	}
+	tel := telemetry.New(telemetry.Options{EpochCycles: 5_000})
+	cfg := baseConfig(1, tinyScale())
+	cfg.Telemetry = tel
+	cfg.Workload = []workload.Profile{workload.MustByName("swim")}
+	runOne(cfg)
+	tab := TelemetryTable(tel)
+	out := tab.String()
+	for _, want := range []string{"core0/acc_estimate", "memctrl0/enqueued", "events/complete"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("telemetry table missing %q:\n%s", want, out)
+		}
 	}
 	t.Logf("\n%s", tab)
 }

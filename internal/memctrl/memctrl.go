@@ -9,6 +9,7 @@ import (
 	"fmt"
 
 	"padc/internal/dram"
+	"padc/internal/telemetry"
 )
 
 // Policy selects the scheduling priority order.
@@ -68,8 +69,15 @@ type Request struct {
 	ServiceAt uint64
 }
 
-// Age returns how long the request has been buffered.
-func (r *Request) Age(now uint64) uint64 { return now - r.Arrival }
+// Age returns how long the request has been buffered. It clamps to 0 when
+// now precedes the arrival cycle, so callers aging a request concurrently
+// with (or before) its admission cannot underflow into a huge age.
+func (r *Request) Age(now uint64) uint64 {
+	if now < r.Arrival {
+		return 0
+	}
+	return now - r.Arrival
+}
 
 // CoreState provides the per-core adaptive inputs the APS policies use;
 // the PADC accuracy meter implements it.
@@ -94,6 +102,9 @@ type Controller struct {
 	inflight    []*Request
 	bestPerBank []int // scratch for Tick's per-bank arbitration
 
+	tel   *telemetry.Telemetry // nil unless Instrument was called
+	telID int16                // controller index in event records
+
 	// Stats.
 	Enqueued    uint64
 	RejectsFull uint64
@@ -105,6 +116,33 @@ type Controller struct {
 // state may be nil for rigid policies.
 func New(policy Policy, channel *dram.Channel, capacity int, state CoreState) *Controller {
 	return &Controller{policy: policy, channel: channel, capacity: capacity, state: state}
+}
+
+// Instrument registers this controller's (and its channel's) metrics into
+// tel under "memctrl<id>/..." and "dram<id>/..." names and enables event
+// emission. Call once after construction; a nil tel is a no-op, keeping
+// the uninstrumented hot path free of telemetry work beyond one pointer
+// compare.
+func (c *Controller) Instrument(tel *telemetry.Telemetry, id int) {
+	if tel == nil {
+		return
+	}
+	c.tel, c.telID = tel, int16(id)
+	pre := fmt.Sprintf("memctrl%d", id)
+	tel.CounterFunc(pre+"/enqueued", func() uint64 { return c.Enqueued })
+	tel.CounterFunc(pre+"/serviced", func() uint64 { return c.Serviced })
+	tel.CounterFunc(pre+"/drops", func() uint64 { return c.Dropped })
+	tel.CounterFunc(pre+"/rejects_full", func() uint64 { return c.RejectsFull })
+	tel.GaugeFunc(pre+"/occupancy", func() float64 { return float64(c.Occupancy()) })
+
+	ch := c.channel
+	dpre := fmt.Sprintf("dram%d", id)
+	tel.CounterFunc(dpre+"/row_hits", func() uint64 { h, _, _ := ch.Counts(); return h })
+	tel.CounterFunc(dpre+"/row_closed", func() uint64 { _, cl, _ := ch.Counts(); return cl })
+	tel.CounterFunc(dpre+"/row_conflicts", func() uint64 { _, _, cf := ch.Counts(); return cf })
+	tel.CounterFunc(dpre+"/activations", func() uint64 { return ch.Activations })
+	tel.CounterFunc(dpre+"/precharges", func() uint64 { return ch.Precharges })
+	tel.CounterFunc(dpre+"/bus_busy_cycles", func() uint64 { return ch.BusBusyCycles })
 }
 
 // Policy returns the scheduling policy in force.
@@ -122,12 +160,24 @@ func (c *Controller) Full() bool { return c.Occupancy() >= c.capacity }
 func (c *Controller) Enqueue(r *Request) bool {
 	if c.Full() {
 		c.RejectsFull++
+		if c.tel != nil {
+			c.tel.Emit(telemetry.Event{
+				Cycle: r.Arrival, Kind: telemetry.EvReject, Pref: r.Prefetch,
+				Core: int16(r.Core), Chan: c.telID, Bank: int16(r.Addr.Bank), Line: r.Line,
+			})
+		}
 		return false
 	}
 	r.seq = c.nextSeq
 	c.nextSeq++
 	c.queue = append(c.queue, r)
 	c.Enqueued++
+	if c.tel != nil {
+		c.tel.Emit(telemetry.Event{
+			Cycle: r.Arrival, Kind: telemetry.EvEnqueue, Pref: r.Prefetch,
+			Core: int16(r.Core), Chan: c.telID, Bank: int16(r.Addr.Bank), Line: r.Line,
+		})
+	}
 	return true
 }
 
@@ -306,6 +356,18 @@ func (c *Controller) Tick(now uint64, ncores int) []*Request {
 		c.inflight = append(c.inflight, r)
 		c.Serviced++
 		issued++
+		if c.tel != nil {
+			c.tel.Emit(telemetry.Event{
+				Cycle: now, Kind: telemetry.EvIssue, Pref: r.Prefetch, A: finish,
+				Core: int16(r.Core), Chan: c.telID, Bank: int16(b), Line: r.Line,
+			})
+			if state == dram.RowConflict {
+				c.tel.Emit(telemetry.Event{
+					Cycle: now, Kind: telemetry.EvRowConflict, Pref: r.Prefetch,
+					Core: int16(r.Core), Chan: c.telID, Bank: int16(b), Line: r.Line,
+				})
+			}
+		}
 	}
 	if issued > 0 {
 		keepQ := c.queue[:0]
@@ -344,6 +406,12 @@ func (c *Controller) DropExpired(now uint64, threshold func(core int) uint64) []
 	for _, r := range c.queue {
 		if r.Prefetch && r.Age(now) > threshold(r.Core) {
 			dropped = append(dropped, r)
+			if c.tel != nil {
+				c.tel.Emit(telemetry.Event{
+					Cycle: now, Kind: telemetry.EvDrop, Pref: true, A: r.Age(now),
+					Core: int16(r.Core), Chan: c.telID, Bank: int16(r.Addr.Bank), Line: r.Line,
+				})
+			}
 			continue
 		}
 		keep = append(keep, r)

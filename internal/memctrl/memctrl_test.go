@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"padc/internal/dram"
+	"padc/internal/telemetry"
 )
 
 // fixedState drives the APS predicates in tests.
@@ -175,6 +176,113 @@ func TestDropExpired(t *testing.T) {
 	}
 	if c.Pending() != 2 || c.Dropped != 1 {
 		t.Fatalf("pending=%d dropped=%d", c.Pending(), c.Dropped)
+	}
+}
+
+// TestAgeClampsBeforeArrival is the regression test for the latent
+// underflow: aging a request before its arrival cycle used to wrap
+// now - Arrival around to ~2^64, making APD drop freshly queued
+// prefetches whose arrival raced ahead of the drop scan's cycle.
+func TestAgeClampsBeforeArrival(t *testing.T) {
+	r := req(0, 1, 5, true)
+	r.Arrival = 100
+	if got := r.Age(50); got != 0 {
+		t.Fatalf("Age before arrival = %d, want 0 (underflow)", got)
+	}
+	if got := r.Age(100); got != 0 {
+		t.Fatalf("Age at arrival = %d, want 0", got)
+	}
+	if got := r.Age(130); got != 30 {
+		t.Fatalf("Age after arrival = %d, want 30", got)
+	}
+
+	// End to end: a drop scan at a cycle preceding the arrival must not
+	// treat the request as ancient.
+	c := New(APS, oneBank(), 16, fixedState{critical: map[int]bool{}})
+	c.Enqueue(r)
+	if dropped := c.DropExpired(50, func(int) uint64 { return 100 }); len(dropped) != 0 {
+		t.Fatalf("drop scan before arrival dropped %d requests", len(dropped))
+	}
+}
+
+func TestDropExpiredSkipsInflightAndDemands(t *testing.T) {
+	c := New(APS, oneBank(), 16, fixedState{critical: map[int]bool{}})
+	inflight := req(0, 1, 5, true)
+	inflight.Arrival = 0
+	c.Enqueue(inflight)
+	// Issue the lone prefetch so it is in flight, then queue an old
+	// demand and run a drop scan with a threshold everything exceeds.
+	c.Tick(1, 8)
+	if len(c.inflight) != 1 {
+		t.Fatal("setup: prefetch did not go in flight")
+	}
+	dem := req(0, 2, 6, false)
+	dem.Arrival = 0
+	c.Enqueue(dem)
+	dropped := c.DropExpired(1_000_000, func(int) uint64 { return 1 })
+	if len(dropped) != 0 {
+		t.Fatalf("dropped %d requests; in-flight prefetches and demands must survive", len(dropped))
+	}
+	if c.Dropped != 0 {
+		t.Fatalf("Dropped = %d, want 0", c.Dropped)
+	}
+}
+
+func TestDropExpiredRespectsPerCoreThresholds(t *testing.T) {
+	c := New(APS, oneBank(), 16, fixedState{critical: map[int]bool{}})
+	inaccurate := req(0, 1, 5, true) // core 0: tight threshold
+	accurate := req(1, 2, 6, true)   // core 1: generous threshold
+	c.Enqueue(inaccurate)
+	c.Enqueue(accurate)
+	thr := func(core int) uint64 {
+		if core == 0 {
+			return 100
+		}
+		return 100_000
+	}
+	dropped := c.DropExpired(1_000, thr)
+	if len(dropped) != 1 || dropped[0] != inaccurate {
+		t.Fatalf("per-core thresholds: dropped %v, want only core 0's prefetch", dropped)
+	}
+	if c.Pending() != 1 {
+		t.Fatalf("pending = %d, want 1", c.Pending())
+	}
+}
+
+func TestDropExpiredEmitsOneEventPerDrop(t *testing.T) {
+	tel := telemetry.New(telemetry.Options{})
+	c := New(APS, oneBank(), 16, fixedState{critical: map[int]bool{}})
+	c.Instrument(tel, 0)
+	for i := uint64(1); i <= 3; i++ {
+		c.Enqueue(req(0, i, i, true))
+	}
+	survivor := req(1, 9, 9, true)
+	survivor.Arrival = 999
+	c.Enqueue(survivor)
+
+	dropped := c.DropExpired(1_000, func(core int) uint64 {
+		if core == 0 {
+			return 10
+		}
+		return 100_000
+	})
+	if len(dropped) != 3 {
+		t.Fatalf("dropped %d, want 3", len(dropped))
+	}
+	var drops int
+	for _, ev := range tel.Events() {
+		if ev.Kind == telemetry.EvDrop {
+			drops++
+			if ev.Core != 0 || !ev.Pref || ev.Cycle != 1_000 {
+				t.Fatalf("malformed drop event: %+v", ev)
+			}
+		}
+	}
+	if drops != 3 {
+		t.Fatalf("telemetry recorded %d drop events, want exactly one per drop (3)", drops)
+	}
+	if v, ok := tel.Value("memctrl0/drops"); !ok || v != 3 {
+		t.Fatalf("memctrl0/drops = %v,%v; want 3", v, ok)
 	}
 }
 

@@ -11,6 +11,7 @@ import (
 	"padc/internal/cpu"
 	"padc/internal/dram"
 	"padc/internal/memctrl"
+	"padc/internal/telemetry"
 	"padc/internal/workload"
 )
 
@@ -92,6 +93,12 @@ type Config struct {
 
 	TrackServiceHist   bool // Figure 4(a) service-time histograms
 	TrackAccuracyTrace bool // Figure 4(b) per-interval PAR of core 0
+
+	// Telemetry, when non-nil, receives the run's metric registrations,
+	// epoch samples (every Telemetry.EpochCycles() cycles) and trace
+	// events; see internal/telemetry. Nil — the default — disables all
+	// instrumentation, leaving the hot path with only nil compares.
+	Telemetry *telemetry.Telemetry
 }
 
 // Baseline returns the paper's baseline system for ncores in {1, 2, 4, 8}

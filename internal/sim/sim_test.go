@@ -5,6 +5,7 @@ import (
 
 	"padc/internal/memctrl"
 	"padc/internal/stats"
+	"padc/internal/telemetry"
 	"padc/internal/workload"
 )
 
@@ -304,5 +305,64 @@ func TestSharedCacheCrossPollution(t *testing.T) {
 	private, shared := run(false), run(true)
 	if shared < private {
 		t.Logf("note: shared-LLC pollution did not exceed private (%.2f vs %.2f)", shared, private)
+	}
+}
+
+func TestTelemetryIntegration(t *testing.T) {
+	tel := telemetry.New(telemetry.Options{EpochCycles: 5_000})
+	cfg := quickCfg(2, "swim", "art")
+	cfg.Policy = memctrl.APS
+	cfg.Telemetry = tel
+	mustRun(t, cfg)
+
+	s := tel.SeriesData()
+	if len(s.Rows) < 2 {
+		t.Fatalf("epoch series has %d rows, want >= 2", len(s.Rows))
+	}
+	// Every core's accuracy gauge and the controller metrics must be
+	// registered and sampled.
+	for _, name := range []string{
+		"core0/acc_estimate", "core1/acc_estimate", "core0/ipc",
+		"memctrl0/enqueued", "memctrl0/occupancy", "dram0/row_conflicts",
+		"sim/row_hit_rate",
+	} {
+		if s.Column(name) == nil {
+			t.Fatalf("metric %q missing from the epoch series", name)
+		}
+	}
+	// Counter deltas across the series must sum to the cumulative value.
+	var enq float64
+	for _, v := range s.Column("memctrl0/enqueued") {
+		enq += v
+	}
+	if cum, _ := tel.Value("memctrl0/enqueued"); enq != cum {
+		t.Fatalf("series deltas sum to %g, cumulative counter is %g", enq, cum)
+	}
+	if cum, _ := tel.Value("memctrl0/enqueued"); cum == 0 {
+		t.Fatal("no requests counted")
+	}
+
+	if tel.EventsTotal() == 0 {
+		t.Fatal("no events recorded")
+	}
+	counts := tel.EventCounts()
+	for _, kind := range []string{"enqueue", "issue", "complete"} {
+		if counts[kind] == 0 {
+			t.Fatalf("no %q events recorded (have %v)", kind, counts)
+		}
+	}
+}
+
+// TestTelemetryDisabledIdenticalResults pins the nil-telemetry fast path:
+// instrumentation must not perturb simulation results.
+func TestTelemetryDisabledIdenticalResults(t *testing.T) {
+	base := mustRun(t, quickCfg(1, "swim"))
+	cfg := quickCfg(1, "swim")
+	cfg.Telemetry = telemetry.New(telemetry.Options{EpochCycles: 1_000})
+	instrumented := mustRun(t, cfg)
+	if base.Cycles != instrumented.Cycles || base.Serviced != instrumented.Serviced ||
+		base.PerCore[0].Retired != instrumented.PerCore[0].Retired {
+		t.Fatalf("telemetry changed the simulation: %d/%d cycles, %d/%d serviced",
+			base.Cycles, instrumented.Cycles, base.Serviced, instrumented.Serviced)
 	}
 }

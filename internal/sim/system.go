@@ -10,6 +10,7 @@ import (
 	"padc/internal/memctrl"
 	"padc/internal/prefetch"
 	"padc/internal/stats"
+	"padc/internal/telemetry"
 	"padc/internal/workload"
 )
 
@@ -77,6 +78,9 @@ type System struct {
 	histUseless []uint64
 	pendingUse  map[uint64]uint64 // gline -> service time, usefulness unknown
 	accTrace    []float64
+
+	tel     *telemetry.Telemetry // nil when telemetry is disabled
+	svcHist *telemetry.Histogram // dram/service_cycles (nil-safe)
 }
 
 // New builds a System from cfg.
@@ -135,7 +139,50 @@ func New(cfg Config) (*System, error) {
 		s.histUseless = make([]uint64, histBuckets)
 		s.pendingUse = make(map[uint64]uint64)
 	}
+	if cfg.Telemetry != nil {
+		s.instrument(cfg.Telemetry)
+	}
 	return s, nil
+}
+
+// instrument registers every subsystem's metrics into tel. Registration
+// happens once here; the hot paths touch telemetry only through
+// preregistered handles and nil compares.
+func (s *System) instrument(tel *telemetry.Telemetry) {
+	s.tel = tel
+	for i, ctrl := range s.ctrls {
+		ctrl.Instrument(tel, i)
+	}
+	s.padc.Instrument(tel, func() uint64 { return s.cycle })
+
+	tel.CounterFunc("sim/serviced", func() uint64 { return s.serviced })
+	tel.CounterFunc("sim/row_hits", func() uint64 { return s.rowHits })
+	tel.GaugeFunc("sim/row_hit_rate", func() float64 {
+		if s.serviced == 0 {
+			return 0
+		}
+		return float64(s.rowHits) / float64(s.serviced)
+	})
+	// Arrival-to-fill service time, the Figure 4(a) axis.
+	s.svcHist = tel.Histogram("dram/service_cycles", []uint64{200, 400, 800, 1600, 3200})
+
+	for _, cs := range s.cores {
+		cs := cs
+		pre := fmt.Sprintf("core%d", cs.id)
+		tel.CounterFunc(pre+"/retired", func() uint64 { return cs.core.Retired })
+		tel.CounterFunc(pre+"/l2_misses", func() uint64 { return cs.l2Miss })
+		tel.CounterFunc(pre+"/pref_sent", func() uint64 { return cs.prefSent })
+		tel.CounterFunc(pre+"/pref_used", func() uint64 { return cs.prefUsed })
+		tel.CounterFunc(pre+"/pref_dropped", func() uint64 { return cs.prefDropped })
+		tel.CounterFunc(pre+"/mshr_stalls", func() uint64 { return cs.mshr.FullStalls })
+		tel.GaugeFunc(pre+"/mshr_occupancy", func() float64 { return float64(cs.mshr.Len()) })
+		tel.GaugeFunc(pre+"/ipc", func() float64 {
+			if s.cycle == 0 {
+				return 0
+			}
+			return float64(cs.core.Retired) / float64(s.cycle)
+		})
+	}
 }
 
 func buildPrefetcher(kind PrefetcherKind) prefetch.Prefetcher {
@@ -234,6 +281,12 @@ func (s *System) Load(coreID int, seq, line, pc uint64, runahead bool, now uint6
 	}
 
 	if cs.mshr.Full() {
+		if firstTry && s.tel != nil {
+			s.tel.Emit(telemetry.Event{
+				Cycle: now, Kind: telemetry.EvMSHRStall,
+				Core: int16(coreID), Chan: -1, Bank: -1, Line: g,
+			})
+		}
 		return cpu.LoadResult{Retry: true}
 	}
 	addr := s.cfg.DRAM.Map(g)
@@ -350,6 +403,14 @@ func (s *System) complete(r *memctrl.Request, now uint64) {
 		s.rowHits++
 	}
 	svc := r.FinishAt - r.Arrival
+	if s.tel != nil {
+		s.svcHist.Observe(svc)
+		s.tel.Emit(telemetry.Event{
+			Cycle: r.ServiceAt, Kind: telemetry.EvComplete, Pref: r.Prefetch,
+			Core: int16(r.Core), Chan: int16(r.Addr.Channel), Bank: int16(r.Addr.Bank),
+			Line: r.Line, A: r.FinishAt - r.ServiceAt,
+		})
+	}
 
 	switch {
 	case !r.WasPref:
@@ -461,6 +522,15 @@ func (s *System) Run() (stats.Results, error) {
 		nextInterval = interval
 	}
 
+	// Epoch sampling: disabled telemetry leaves nextSample at the
+	// unreachable maximum, so the per-cycle cost is one compare.
+	epoch := s.tel.EpochCycles()
+	nextSample := ^uint64(0)
+	var lastSample uint64
+	if epoch > 0 {
+		nextSample = epoch
+	}
+
 	remaining := len(s.cores)
 	for remaining > 0 && s.cycle < maxCycles {
 		s.cycle++
@@ -488,6 +558,12 @@ func (s *System) Run() (stats.Results, error) {
 			s.dropExpired(now)
 		}
 
+		if now >= nextSample {
+			s.tel.Sample(now)
+			lastSample = now
+			nextSample += epoch
+		}
+
 		if now >= nextInterval {
 			s.padc.EndInterval()
 			for _, cs := range s.cores {
@@ -512,6 +588,11 @@ func (s *System) Run() (stats.Results, error) {
 				remaining--
 			}
 		}
+	}
+
+	// Close the partial last epoch so short runs still yield a series.
+	if epoch > 0 && s.cycle > lastSample {
+		s.tel.Sample(s.cycle)
 	}
 
 	if remaining > 0 {

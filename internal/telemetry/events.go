@@ -1,0 +1,144 @@
+package telemetry
+
+// EventKind classifies a trace event.
+type EventKind uint8
+
+const (
+	// EvEnqueue: a request entered a memory controller's request buffer.
+	// A = 1 if prefetch.
+	EvEnqueue EventKind = iota
+	// EvIssue: a controller issued a request to its DRAM channel.
+	// A = predicted finish cycle.
+	EvIssue
+	// EvComplete: DRAM service finished and the line was filled.
+	// A = service span in cycles (issue to finish); Cycle is the issue
+	// cycle so Chrome-trace spans render at the right place.
+	EvComplete
+	// EvDrop: APD removed an expired prefetch from the buffer.
+	// A = the request's age in cycles at the drop.
+	EvDrop
+	// EvPromotion: a core's accuracy estimate crossed the APS promotion
+	// threshold. A = new accuracy in ppm; Bank = 1 when promoted, 0 when
+	// demoted.
+	EvPromotion
+	// EvRowConflict: an issued request found a conflicting open row.
+	EvRowConflict
+	// EvMSHRStall: a demand load was rejected because the MSHR file or
+	// the request buffer was full.
+	EvMSHRStall
+	// EvReject: a request was rejected by a full request buffer.
+	EvReject
+)
+
+// String implements fmt.Stringer.
+func (k EventKind) String() string {
+	switch k {
+	case EvEnqueue:
+		return "enqueue"
+	case EvIssue:
+		return "issue"
+	case EvComplete:
+		return "complete"
+	case EvDrop:
+		return "drop"
+	case EvPromotion:
+		return "promotion"
+	case EvRowConflict:
+		return "row-conflict"
+	case EvMSHRStall:
+		return "mshr-stall"
+	case EvReject:
+		return "reject"
+	default:
+		return "unknown"
+	}
+}
+
+// Event is one typed trace record. The fixed shape keeps the ring
+// allocation-free: Emit copies the struct into a preallocated slot.
+type Event struct {
+	Cycle uint64
+	Line  uint64 // line address (0 when not applicable)
+	A     uint64 // kind-specific scalar; see the EventKind docs
+	Kind  EventKind
+	Pref  bool  // the request was (still) a prefetch
+	Core  int16 // -1 when not applicable
+	Chan  int16 // memory controller index; -1 when not applicable
+	Bank  int16 // -1 when not applicable
+}
+
+// ring is a bounded overwrite-oldest event buffer.
+type ring struct {
+	buf     []Event
+	next    int
+	wrapped bool
+	dropped uint64 // events overwritten after the ring wrapped
+	total   uint64
+}
+
+func (r *ring) init(capacity int) {
+	if capacity > 0 {
+		r.buf = make([]Event, capacity)
+	}
+}
+
+func (r *ring) add(ev Event) {
+	if len(r.buf) == 0 {
+		return
+	}
+	if r.wrapped {
+		r.dropped++
+	}
+	r.buf[r.next] = ev
+	r.next++
+	r.total++
+	if r.next == len(r.buf) {
+		r.next = 0
+		r.wrapped = true
+	}
+}
+
+// events returns the retained events in chronological order.
+func (r *ring) events() []Event {
+	if !r.wrapped {
+		return r.buf[:r.next]
+	}
+	out := make([]Event, 0, len(r.buf))
+	out = append(out, r.buf[r.next:]...)
+	out = append(out, r.buf[:r.next]...)
+	return out
+}
+
+// Emit records one event (no-op for nil or event-disabled telemetry).
+func (t *Telemetry) Emit(ev Event) {
+	if t == nil {
+		return
+	}
+	t.ring.add(ev)
+}
+
+// Events returns the retained events in chronological order. When the run
+// produced more events than the ring holds, the oldest were overwritten;
+// EventsDropped reports how many.
+func (t *Telemetry) Events() []Event {
+	if t == nil {
+		return nil
+	}
+	return t.ring.events()
+}
+
+// EventsTotal returns how many events were emitted over the run.
+func (t *Telemetry) EventsTotal() uint64 {
+	if t == nil {
+		return 0
+	}
+	return t.ring.total
+}
+
+// EventsDropped returns how many emitted events were overwritten.
+func (t *Telemetry) EventsDropped() uint64 {
+	if t == nil {
+		return 0
+	}
+	return t.ring.dropped
+}

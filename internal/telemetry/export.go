@@ -1,0 +1,124 @@
+package telemetry
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// cyclesPerMicro converts simulator cycles to trace_event microseconds
+// (the paper's 4GHz core clock: 4000 cycles per µs).
+const cyclesPerMicro = 4000.0
+
+// WriteCSV writes the epoch time series as CSV: a "cycle" column followed
+// by one column per registered metric in registration order. Counter
+// columns hold per-epoch deltas, gauge columns instantaneous values.
+func (t *Telemetry) WriteCSV(w io.Writer) error {
+	s := t.SeriesData()
+	bw := bufio.NewWriter(w)
+	bw.WriteString("cycle")
+	for _, n := range s.Names {
+		bw.WriteByte(',')
+		bw.WriteString(csvQuote(n))
+	}
+	bw.WriteByte('\n')
+	for _, row := range s.Rows {
+		bw.WriteString(strconv.FormatUint(row.Cycle, 10))
+		for _, v := range row.Vals {
+			bw.WriteByte(',')
+			bw.WriteString(strconv.FormatFloat(v, 'g', -1, 64))
+		}
+		bw.WriteByte('\n')
+	}
+	return bw.Flush()
+}
+
+// csvQuote quotes a field when it needs it (metric names are plain, but
+// stay safe).
+func csvQuote(s string) string {
+	for _, r := range s {
+		if r == ',' || r == '"' || r == '\n' {
+			return strconv.Quote(s)
+		}
+	}
+	return s
+}
+
+// WriteJSONL writes the retained events one JSON object per line, oldest
+// first: {"cycle":..,"kind":"drop","core":..,"chan":..,"bank":..,
+// "line":..,"a":..,"pref":..}.
+func (t *Telemetry) WriteJSONL(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	for _, ev := range t.Events() {
+		fmt.Fprintf(bw, `{"cycle":%d,"kind":%q,"core":%d,"chan":%d,"bank":%d,"line":%d,"a":%d,"pref":%t}`+"\n",
+			ev.Cycle, ev.Kind.String(), ev.Core, ev.Chan, ev.Bank, ev.Line, ev.A, ev.Pref)
+	}
+	return bw.Flush()
+}
+
+// Chrome trace_event pid/tid conventions: each memory controller is a
+// process whose threads are its banks; core-side events (promotion flips,
+// MSHR stalls) live in a synthetic "cores" process with one thread per
+// core.
+const chromeCorePID = 1000
+
+// WriteChromeTrace writes the retained events in Chrome trace_event JSON
+// (load in chrome://tracing or https://ui.perfetto.dev). DRAM service
+// completions render as duration ("X") spans on their bank's track;
+// drops, promotions, rejects and stalls render as instant ("i") events.
+// Timestamps are microseconds at the 4GHz core clock.
+func (t *Telemetry) WriteChromeTrace(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	bw.WriteString(`{"displayTimeUnit":"ms","traceEvents":[`)
+	first := true
+	emit := func(format string, args ...any) {
+		if !first {
+			bw.WriteByte(',')
+		}
+		first = false
+		fmt.Fprintf(bw, format, args...)
+	}
+
+	// Name the tracks that appear in the event stream.
+	chans := map[int16]bool{}
+	cores := map[int16]bool{}
+	for _, ev := range t.Events() {
+		if ev.Chan >= 0 {
+			chans[ev.Chan] = true
+		}
+		if ev.Core >= 0 {
+			cores[ev.Core] = true
+		}
+	}
+	for ch := range chans {
+		emit(`{"ph":"M","name":"process_name","pid":%d,"args":{"name":"memctrl%d"}}`, ch, ch)
+	}
+	if len(cores) > 0 {
+		emit(`{"ph":"M","name":"process_name","pid":%d,"args":{"name":"cores"}}`, chromeCorePID)
+		for c := range cores {
+			emit(`{"ph":"M","name":"thread_name","pid":%d,"tid":%d,"args":{"name":"core%d"}}`, chromeCorePID, c, c)
+		}
+	}
+
+	for _, ev := range t.Events() {
+		ts := float64(ev.Cycle) / cyclesPerMicro
+		switch ev.Kind {
+		case EvComplete:
+			name := "demand"
+			if ev.Pref {
+				name = "prefetch"
+			}
+			emit(`{"ph":"X","name":%q,"cat":"dram","ts":%.3f,"dur":%.3f,"pid":%d,"tid":%d,"args":{"core":%d,"line":%d}}`,
+				name, ts, float64(ev.A)/cyclesPerMicro, ev.Chan, ev.Bank, ev.Core, ev.Line)
+		case EvDrop, EvRowConflict, EvEnqueue, EvIssue, EvReject:
+			emit(`{"ph":"i","s":"t","name":%q,"cat":"memctrl","ts":%.3f,"pid":%d,"tid":%d,"args":{"core":%d,"line":%d,"a":%d}}`,
+				ev.Kind.String(), ts, ev.Chan, ev.Bank, ev.Core, ev.Line, ev.A)
+		case EvPromotion, EvMSHRStall:
+			emit(`{"ph":"i","s":"t","name":%q,"cat":"core","ts":%.3f,"pid":%d,"tid":%d,"args":{"a":%d}}`,
+				ev.Kind.String(), ts, chromeCorePID, ev.Core, ev.A)
+		}
+	}
+	bw.WriteString("]}")
+	return bw.Flush()
+}

@@ -1,0 +1,75 @@
+package telemetry
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Summary renders a human-readable digest of the run's telemetry: final
+// counter totals, last gauge values, histogram shapes and event counts.
+// The exp runners and the padcsim CLI embed it under their tables.
+func (t *Telemetry) Summary() string {
+	if t == nil {
+		return "telemetry: disabled\n"
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "telemetry: %d metrics, %d epochs (every %d cycles), %d events",
+		len(t.metrics), len(t.series.Rows), t.opts.EpochCycles, t.EventsTotal())
+	if d := t.EventsDropped(); d > 0 {
+		fmt.Fprintf(&b, " (%d overwritten)", d)
+	}
+	b.WriteByte('\n')
+
+	width := 0
+	for _, m := range t.metrics {
+		if len(m.name) > width {
+			width = len(m.name)
+		}
+	}
+	for _, m := range t.metrics {
+		switch m.kind {
+		case KindCounter:
+			fmt.Fprintf(&b, "  %-*s %d\n", width, m.name, uint64(m.read()))
+		default:
+			fmt.Fprintf(&b, "  %-*s %.4g\n", width, m.name, m.read())
+		}
+	}
+	for _, h := range t.hists {
+		fmt.Fprintf(&b, "  %s (n=%d):", h.name, h.Total())
+		for i, c := range h.counts {
+			if i < len(h.bounds) {
+				fmt.Fprintf(&b, " <=%d:%d", h.bounds[i], c)
+			} else {
+				fmt.Fprintf(&b, " >%d:%d", h.bounds[len(h.bounds)-1], c)
+			}
+		}
+		b.WriteByte('\n')
+	}
+	if counts := t.EventCounts(); len(counts) > 0 {
+		kinds := make([]string, 0, len(counts))
+		for k := range counts {
+			kinds = append(kinds, k)
+		}
+		sort.Strings(kinds)
+		b.WriteString("  events:")
+		for _, k := range kinds {
+			fmt.Fprintf(&b, " %s=%d", k, counts[k])
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// EventCounts returns, per event kind, how many retained events the ring
+// holds.
+func (t *Telemetry) EventCounts() map[string]uint64 {
+	if t == nil {
+		return nil
+	}
+	out := make(map[string]uint64)
+	for _, ev := range t.Events() {
+		out[ev.Kind.String()]++
+	}
+	return out
+}

@@ -1,0 +1,231 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestNilTelemetryIsNoOp(t *testing.T) {
+	var tel *Telemetry
+	c := tel.Counter("x")
+	c.Inc()
+	c.Add(7)
+	if c.Value() != 0 {
+		t.Fatalf("nil counter accumulated %d", c.Value())
+	}
+	tel.CounterFunc("y", func() uint64 { return 1 })
+	tel.GaugeFunc("z", func() float64 { return 1 })
+	h := tel.Histogram("h", []uint64{10})
+	h.Observe(5)
+	if h.Total() != 0 {
+		t.Fatal("nil histogram observed")
+	}
+	tel.Emit(Event{Kind: EvDrop})
+	tel.Sample(100)
+	if tel.Enabled() || tel.EpochCycles() != 0 || len(tel.Events()) != 0 {
+		t.Fatal("nil telemetry not inert")
+	}
+	if got := tel.Summary(); !strings.Contains(got, "disabled") {
+		t.Fatalf("nil summary = %q", got)
+	}
+	if s := tel.SeriesData(); len(s.Rows) != 0 {
+		t.Fatal("nil series has rows")
+	}
+}
+
+func TestRegistryAndSampling(t *testing.T) {
+	tel := New(Options{EpochCycles: 100})
+	drops := tel.Counter("memctrl0/drops")
+	var ext uint64
+	tel.CounterFunc("core0/retired", func() uint64 { return ext })
+	occ := 3.0
+	tel.GaugeFunc("memctrl0/occupancy", func() float64 { return occ })
+
+	drops.Add(5)
+	ext = 40
+	tel.Sample(100)
+	drops.Inc()
+	ext = 90
+	occ = 7
+	tel.Sample(200)
+
+	s := tel.SeriesData()
+	if len(s.Rows) != 2 {
+		t.Fatalf("rows = %d, want 2", len(s.Rows))
+	}
+	if got := s.Column("memctrl0/drops"); got[0] != 5 || got[1] != 1 {
+		t.Fatalf("counter deltas = %v, want [5 1]", got)
+	}
+	if got := s.Column("core0/retired"); got[0] != 40 || got[1] != 50 {
+		t.Fatalf("counterfunc deltas = %v, want [40 50]", got)
+	}
+	if got := s.Column("memctrl0/occupancy"); got[0] != 3 || got[1] != 7 {
+		t.Fatalf("gauge samples = %v, want [3 7]", got)
+	}
+	if v, ok := tel.Value("memctrl0/drops"); !ok || v != 6 {
+		t.Fatalf("Value = %v,%v; want 6,true", v, ok)
+	}
+	if s.Column("nope") != nil {
+		t.Fatal("unknown column not nil")
+	}
+}
+
+func TestDuplicateMetricPanics(t *testing.T) {
+	tel := New(Options{})
+	tel.Counter("a")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate registration did not panic")
+		}
+	}()
+	tel.Counter("a")
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	tel := New(Options{})
+	h := tel.Histogram("svc", []uint64{10, 100})
+	for _, v := range []uint64{1, 10, 11, 100, 101, 5000} {
+		h.Observe(v)
+	}
+	_, counts := h.Buckets()
+	want := []uint64{2, 2, 2}
+	for i, c := range counts {
+		if c != want[i] {
+			t.Fatalf("counts = %v, want %v", counts, want)
+		}
+	}
+	if h.Total() != 6 {
+		t.Fatalf("total = %d, want 6", h.Total())
+	}
+}
+
+func TestEventRingWraps(t *testing.T) {
+	tel := New(Options{EventCapacity: 4})
+	for i := 0; i < 10; i++ {
+		tel.Emit(Event{Cycle: uint64(i), Kind: EvEnqueue})
+	}
+	evs := tel.Events()
+	if len(evs) != 4 {
+		t.Fatalf("retained %d events, want 4", len(evs))
+	}
+	for i, ev := range evs {
+		if ev.Cycle != uint64(6+i) {
+			t.Fatalf("event %d cycle = %d, want %d (chronological)", i, ev.Cycle, 6+i)
+		}
+	}
+	if tel.EventsTotal() != 10 || tel.EventsDropped() != 6 {
+		t.Fatalf("total/dropped = %d/%d, want 10/6", tel.EventsTotal(), tel.EventsDropped())
+	}
+}
+
+func TestExporters(t *testing.T) {
+	tel := New(Options{EpochCycles: 50, EventCapacity: 16})
+	c := tel.Counter("memctrl0/drops")
+	tel.GaugeFunc("core0/acc_estimate", func() float64 { return 0.9 })
+	c.Add(2)
+	tel.Sample(50)
+	c.Add(3)
+	tel.Sample(100)
+	tel.Emit(Event{Cycle: 10, Kind: EvComplete, Core: 0, Chan: 0, Bank: 3, Line: 42, A: 72})
+	tel.Emit(Event{Cycle: 20, Kind: EvDrop, Core: 1, Chan: 0, Bank: -1, Line: 43, A: 900, Pref: true})
+	tel.Emit(Event{Cycle: 30, Kind: EvPromotion, Core: 1, Chan: -1, Bank: 1, A: 920000})
+
+	var csv strings.Builder
+	if err := tel.WriteCSV(&csv); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(csv.String()), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("csv lines = %d, want 3:\n%s", len(lines), csv.String())
+	}
+	if lines[0] != "cycle,memctrl0/drops,core0/acc_estimate" {
+		t.Fatalf("csv header = %q", lines[0])
+	}
+	if lines[1] != "50,2,0.9" || lines[2] != "100,3,0.9" {
+		t.Fatalf("csv rows = %q, %q", lines[1], lines[2])
+	}
+
+	var jsonl strings.Builder
+	if err := tel.WriteJSONL(&jsonl); err != nil {
+		t.Fatal(err)
+	}
+	jl := strings.Split(strings.TrimSpace(jsonl.String()), "\n")
+	if len(jl) != 3 {
+		t.Fatalf("jsonl lines = %d, want 3", len(jl))
+	}
+	for _, line := range jl {
+		var m map[string]any
+		if err := json.Unmarshal([]byte(line), &m); err != nil {
+			t.Fatalf("jsonl line %q: %v", line, err)
+		}
+	}
+
+	var chrome strings.Builder
+	if err := tel.WriteChromeTrace(&chrome); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal([]byte(chrome.String()), &doc); err != nil {
+		t.Fatalf("chrome trace is not valid JSON: %v", err)
+	}
+	var spans, instants int
+	for _, ev := range doc.TraceEvents {
+		switch ev["ph"] {
+		case "X":
+			spans++
+			if ev["dur"].(float64) <= 0 {
+				t.Fatalf("span with non-positive dur: %v", ev)
+			}
+		case "i":
+			instants++
+		}
+	}
+	if spans != 1 || instants != 2 {
+		t.Fatalf("spans/instants = %d/%d, want 1/2", spans, instants)
+	}
+}
+
+func TestSummary(t *testing.T) {
+	tel := New(Options{EpochCycles: 10})
+	tel.Counter("a/count").Add(3)
+	tel.GaugeFunc("b/gauge", func() float64 { return 1.5 })
+	tel.Histogram("c/hist", []uint64{10}).Observe(4)
+	tel.Emit(Event{Kind: EvDrop})
+	tel.Sample(10)
+	s := tel.Summary()
+	for _, want := range []string{"a/count", "3", "b/gauge", "1.5", "c/hist", "drop=1", "1 epochs"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("summary missing %q:\n%s", want, s)
+		}
+	}
+}
+
+// BenchmarkDisabledCounter measures the disabled hot path: one nil check.
+func BenchmarkDisabledCounter(b *testing.B) {
+	var tel *Telemetry
+	c := tel.Counter("x")
+	for i := 0; i < b.N; i++ {
+		c.Inc()
+	}
+}
+
+// BenchmarkEnabledCounter measures the enabled hot path: a plain add.
+func BenchmarkEnabledCounter(b *testing.B) {
+	tel := New(Options{})
+	c := tel.Counter("x")
+	for i := 0; i < b.N; i++ {
+		c.Inc()
+	}
+	_ = c.Value()
+}
+
+// BenchmarkEmit measures event recording into the ring.
+func BenchmarkEmit(b *testing.B) {
+	tel := New(Options{EventCapacity: 1 << 12})
+	for i := 0; i < b.N; i++ {
+		tel.Emit(Event{Cycle: uint64(i), Kind: EvEnqueue})
+	}
+}

@@ -23,6 +23,7 @@ import (
 	"padc/internal/memctrl"
 	"padc/internal/sim"
 	"padc/internal/stats"
+	"padc/internal/telemetry"
 	"padc/internal/workload"
 )
 
@@ -85,6 +86,19 @@ type SystemConfig struct {
 	Runahead    bool
 
 	TargetInsts uint64 // instructions each core retires before stats freeze
+
+	// Telemetry, when non-nil, instruments the run: counters, epoch time
+	// series and trace events land in it (build one with NewTelemetry and
+	// export with its WriteCSV / WriteJSONL / WriteChromeTrace / Summary
+	// methods). Nil keeps the simulator on the uninstrumented fast path.
+	Telemetry *telemetry.Telemetry
+}
+
+// NewTelemetry builds a telemetry sink sampling every epochCycles cycles
+// (0 disables the epoch series) with the default event-ring capacity.
+// Attach it to SystemConfig.Telemetry before Run.
+func NewTelemetry(epochCycles uint64) *telemetry.Telemetry {
+	return telemetry.New(telemetry.Options{EpochCycles: epochCycles})
 }
 
 // DefaultSystem returns the paper's baseline machine for ncores in
@@ -152,6 +166,7 @@ func (c SystemConfig) toSim() (sim.Config, error) {
 	if c.TargetInsts > 0 {
 		cfg.TargetInsts = c.TargetInsts
 	}
+	cfg.Telemetry = c.Telemetry
 	// Full validation (including the workload) happens in sim.Run.
 	return cfg, nil
 }
