@@ -204,3 +204,33 @@ func BenchmarkSimulatorThroughputTelemetry(b *testing.B) {
 	}
 	b.ReportMetric(float64(cycles)/b.Elapsed().Seconds(), "cycles/s")
 }
+
+// BenchmarkSimulatorThroughputProfiled is the same run with the full
+// observability stack: telemetry plus request-lifecycle span tracing and
+// cycle-accounting attribution. The delta against the two benchmarks
+// above prices the profiler; the delta between the first two prices plain
+// telemetry.
+func BenchmarkSimulatorThroughputProfiled(b *testing.B) {
+	var cycles uint64
+	for i := 0; i < b.N; i++ {
+		cfg := DefaultSystem(4)
+		cfg.TargetInsts = 50_000
+		cfg.Telemetry = NewTelemetry(10_000)
+		cfg.Lifecycle = NewLifecycle(0)
+		cfg.Profile = true
+		res, err := Run(cfg, []string{"swim", "art", "libquantum", "milc"})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if cfg.Lifecycle.Recorded() == 0 {
+			b.Fatal("lifecycle recorded no spans")
+		}
+		for _, c := range res.Cores {
+			if len(c.Attribution) == 0 {
+				b.Fatal("profiling produced no attribution")
+			}
+		}
+		cycles += res.Cycles
+	}
+	b.ReportMetric(float64(cycles)/b.Elapsed().Seconds(), "cycles/s")
+}

@@ -14,17 +14,30 @@
 // event ring as JSONL.
 //
 //	padcsim -bench swim,art -policy padc -metrics out.csv -trace out.json -epoch 10000
+//
+// Profiling (with -bench): -profile prints the per-core cycle-accounting
+// table (every cycle attributed to retire / demand-miss / mshr-full /
+// compute / idle) and the request-lifecycle breakdown, -spans writes the
+// sampled lifecycle spans as JSONL, -breakdown writes the per-core
+// latency decomposition as CSV, and -http serves Prometheus-format
+// metrics at /metrics (plus net/http/pprof) while the simulation runs.
+//
+//	padcsim -bench swim,art -profile -http :8080 -spans spans.jsonl
 package main
 
 import (
 	"flag"
 	"fmt"
+	"net"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
 	"strings"
 
 	"padc"
 	"padc/internal/exp"
 	"padc/internal/telemetry"
+	"padc/internal/telemetry/lifecycle"
 )
 
 func main() {
@@ -43,6 +56,11 @@ func main() {
 		traceOut   = flag.String("trace", "", "write a Chrome trace_event JSON to this file")
 		eventsOut  = flag.String("events", "", "write the raw event ring as JSONL to this file")
 		epoch      = flag.Uint64("epoch", 10_000, "telemetry sampling period in cycles")
+
+		profile      = flag.Bool("profile", false, "print per-core cycle attribution and lifecycle breakdown tables")
+		spansOut     = flag.String("spans", "", "write sampled request-lifecycle spans as JSONL to this file")
+		breakdownOut = flag.String("breakdown", "", "write the per-core latency decomposition as CSV to this file")
+		httpAddr     = flag.String("http", "", "serve Prometheus metrics at /metrics and net/http/pprof on this address (e.g. :8080)")
 	)
 	flag.Parse()
 
@@ -87,9 +105,18 @@ func main() {
 			fatal(err)
 		}
 		var tel *telemetry.Telemetry
-		if *metricsOut != "" || *traceOut != "" || *eventsOut != "" {
+		if *metricsOut != "" || *traceOut != "" || *eventsOut != "" || *httpAddr != "" {
 			tel = padc.NewTelemetry(*epoch)
 			cfg.Telemetry = tel
+		}
+		var tracer *lifecycle.Tracer
+		if *profile || *spansOut != "" || *breakdownOut != "" {
+			tracer = padc.NewLifecycle(0)
+			cfg.Lifecycle = tracer
+		}
+		cfg.Profile = *profile
+		if *httpAddr != "" {
+			serveHTTP(*httpAddr, tel)
 		}
 		res, err := padc.Run(cfg, names)
 		if err != nil {
@@ -97,10 +124,25 @@ func main() {
 		}
 		report(res, *verbose)
 		if tel != nil {
-			if err := exportTelemetry(tel, *metricsOut, *traceOut, *eventsOut); err != nil {
+			if err := exportTelemetry(tel, tracer, *metricsOut, *traceOut, *eventsOut); err != nil {
 				fatal(err)
 			}
 			fmt.Print(exp.TelemetryTable(tel))
+		}
+		if tracer != nil {
+			if err := exportLifecycle(tracer, *spansOut, *breakdownOut); err != nil {
+				fatal(err)
+			}
+		}
+		if *profile {
+			attribs := make([][]uint64, len(res.Cores))
+			benches := make([]string, len(res.Cores))
+			for i, c := range res.Cores {
+				benches[i] = c.Benchmark
+				attribs[i] = c.Attribution
+			}
+			fmt.Print(exp.ProfileRows(benches, attribs))
+			fmt.Print(tracer.BreakdownTable())
 		}
 	default:
 		flag.Usage()
@@ -164,29 +206,63 @@ func report(res padc.Result, verbose bool) {
 	}
 }
 
-// exportTelemetry writes the requested telemetry artifacts.
-func exportTelemetry(tel *telemetry.Telemetry, metrics, trace, events string) error {
-	write := func(path string, fn func(f *os.File) error) error {
-		if path == "" {
-			return nil
-		}
-		f, err := os.Create(path)
-		if err != nil {
-			return err
-		}
-		if err := fn(f); err != nil {
-			f.Close()
-			return err
-		}
-		return f.Close()
-	}
-	if err := write(metrics, func(f *os.File) error { return tel.WriteCSV(f) }); err != nil {
+// exportTelemetry writes the requested telemetry artifacts. When a
+// lifecycle tracer is active its spans are interleaved into the Chrome
+// trace alongside the event-ring slices.
+func exportTelemetry(tel *telemetry.Telemetry, tracer *lifecycle.Tracer, metrics, trace, events string) error {
+	if err := writeFile(metrics, func(f *os.File) error { return tel.WriteCSV(f) }); err != nil {
 		return err
 	}
-	if err := write(trace, func(f *os.File) error { return tel.WriteChromeTrace(f) }); err != nil {
+	if err := writeFile(trace, func(f *os.File) error {
+		if tracer != nil {
+			return tel.WriteChromeTraceWith(f, tracer.ChromeSlices)
+		}
+		return tel.WriteChromeTrace(f)
+	}); err != nil {
 		return err
 	}
-	return write(events, func(f *os.File) error { return tel.WriteJSONL(f) })
+	return writeFile(events, func(f *os.File) error { return tel.WriteJSONL(f) })
+}
+
+// exportLifecycle writes the requested lifecycle artifacts.
+func exportLifecycle(tracer *lifecycle.Tracer, spans, breakdown string) error {
+	if err := writeFile(spans, func(f *os.File) error { return tracer.WriteJSONL(f) }); err != nil {
+		return err
+	}
+	return writeFile(breakdown, func(f *os.File) error { return tracer.WriteCSV(f) })
+}
+
+func writeFile(path string, fn func(f *os.File) error) error {
+	if path == "" {
+		return nil
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := fn(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// serveHTTP starts the live observability endpoint: Prometheus-format
+// metrics at /metrics plus the net/http/pprof handlers the blank import
+// registers on the default mux. The server runs for the life of the
+// process; a bind failure is fatal so a typo'd address doesn't silently
+// drop the endpoint the user asked for.
+func serveHTTP(addr string, tel *telemetry.Telemetry) {
+	http.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+		tel.WritePrometheus(w)
+	})
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		fatal(err)
+	}
+	go http.Serve(ln, nil)
+	fmt.Fprintf(os.Stderr, "padcsim: serving /metrics and /debug/pprof on %s\n", ln.Addr())
 }
 
 func fatal(err error) {

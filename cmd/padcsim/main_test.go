@@ -1,0 +1,64 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"padc"
+)
+
+func TestApplyPolicyRejectsUnknown(t *testing.T) {
+	cfg := padc.DefaultSystem(1)
+	err := applyPolicy(&cfg, "frfcfs-typo")
+	if err == nil {
+		t.Fatal("unknown policy accepted")
+	}
+	if !strings.Contains(err.Error(), "frfcfs-typo") {
+		t.Fatalf("error should name the bad value: %v", err)
+	}
+}
+
+func TestApplyPolicyKnownValues(t *testing.T) {
+	for _, s := range []string{"no-pref", "demand-first", "equal", "prefetch-first", "aps", "padc", "padc-rank"} {
+		cfg := padc.DefaultSystem(1)
+		if err := applyPolicy(&cfg, s); err != nil {
+			t.Errorf("policy %q rejected: %v", s, err)
+		}
+	}
+	// The padc spelling must enable dropping; the rigid ones must not.
+	cfg := padc.DefaultSystem(1)
+	applyPolicy(&cfg, "padc")
+	if !cfg.APD {
+		t.Error("padc policy should enable APD")
+	}
+	applyPolicy(&cfg, "demand-first")
+	if cfg.APD {
+		t.Error("demand-first policy should disable APD")
+	}
+}
+
+func TestApplyPrefetcherRejectsUnknown(t *testing.T) {
+	cfg := padc.DefaultSystem(1)
+	err := applyPrefetcher(&cfg, "ghb")
+	if err == nil {
+		t.Fatal("unknown prefetcher accepted")
+	}
+	if !strings.Contains(err.Error(), "ghb") {
+		t.Fatalf("error should name the bad value: %v", err)
+	}
+}
+
+func TestApplyPrefetcherKnownValues(t *testing.T) {
+	want := map[string]padc.Prefetcher{
+		"none": padc.NoPrefetcher, "stream": padc.Stream, "stride": padc.Stride,
+		"cdc": padc.CDC, "markov": padc.Markov,
+	}
+	for s, pf := range want {
+		cfg := padc.DefaultSystem(1)
+		if err := applyPrefetcher(&cfg, s); err != nil {
+			t.Errorf("prefetcher %q rejected: %v", s, err)
+		} else if cfg.Prefetcher != pf {
+			t.Errorf("prefetcher %q mapped to %v, want %v", s, cfg.Prefetcher, pf)
+		}
+	}
+}

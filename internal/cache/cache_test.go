@@ -180,3 +180,16 @@ func TestMSHR(t *testing.T) {
 		t.Fatal("waiters lost")
 	}
 }
+
+func TestMSHRFullStallSplit(t *testing.T) {
+	m := NewMSHR(1)
+	m.Allocate(100, false)
+	if m.Allocate(200, false) != nil || m.Allocate(300, true) != nil {
+		t.Fatal("over-capacity allocation")
+	}
+	m.NoteFullStall(true) // owners that check Full() first book stalls directly
+	if m.FullStalls != 3 || m.FullStallsDemand != 1 || m.FullStallsPref != 2 {
+		t.Fatalf("stall split = %d total / %d demand / %d pref, want 3/1/2",
+			m.FullStalls, m.FullStallsDemand, m.FullStallsPref)
+	}
+}

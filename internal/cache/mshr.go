@@ -11,9 +11,11 @@ type MSHR struct {
 	entries  map[uint64]*MSHREntry
 
 	// Stats.
-	Allocs     uint64
-	FullStalls uint64 // allocation attempts rejected because the file was full
-	HighWater  int    // peak simultaneous outstanding misses
+	Allocs           uint64
+	FullStalls       uint64 // allocation attempts rejected because the file was full
+	FullStallsDemand uint64 // ... of which the requester was a demand load
+	FullStallsPref   uint64 // ... of which the requester was a prefetch
+	HighWater        int    // peak simultaneous outstanding misses
 }
 
 // MSHREntry tracks one outstanding miss.
@@ -52,7 +54,7 @@ func (m *MSHR) Lookup(lineAddr uint64) *MSHREntry { return m.entries[lineAddr] }
 // full or the line is already outstanding (callers merge via Lookup).
 func (m *MSHR) Allocate(lineAddr uint64, prefetch bool) *MSHREntry {
 	if m.Full() {
-		m.FullStalls++
+		m.NoteFullStall(prefetch)
 		return nil
 	}
 	if _, ok := m.entries[lineAddr]; ok {
@@ -65,6 +67,18 @@ func (m *MSHR) Allocate(lineAddr uint64, prefetch bool) *MSHREntry {
 		m.HighWater = len(m.entries)
 	}
 	return e
+}
+
+// NoteFullStall books one allocation the owner skipped because the file
+// was full, split by requester type. Owners that check Full before
+// calling Allocate use this so the stall statistics stay complete.
+func (m *MSHR) NoteFullStall(prefetch bool) {
+	m.FullStalls++
+	if prefetch {
+		m.FullStallsPref++
+	} else {
+		m.FullStallsDemand++
+	}
 }
 
 // Release removes the entry for lineAddr (fill completed or prefetch

@@ -15,6 +15,70 @@ package cpu
 
 import "padc/internal/trace"
 
+// CycleClass attributes one core cycle to the resource that bounded it.
+// The profiler classifies every cycle into exactly one class, so over any
+// window the class counts sum to the cycle count — the cycle-accounting
+// identity the attribution tables rely on.
+type CycleClass uint8
+
+const (
+	// CycleRetire: at least one instruction retired this cycle.
+	CycleRetire CycleClass = iota
+	// CycleStallDemand: retirement was blocked by a load waiting on an
+	// outstanding long-latency (DRAM) miss — the ROB fills behind it.
+	CycleStallDemand
+	// CycleStallResource: the head load could not even enter the memory
+	// system (MSHR file or request buffer full) and is backing off.
+	CycleStallResource
+	// CycleCompute: the window had work but nothing retired — dependence
+	// waits, short-latency cache hits in flight, fill/fetch cycles.
+	CycleCompute
+	// CycleIdle: the instruction window was empty.
+	CycleIdle
+	// NumCycleClasses bounds CycleClass values.
+	NumCycleClasses
+)
+
+// String implements fmt.Stringer.
+func (c CycleClass) String() string {
+	switch c {
+	case CycleRetire:
+		return "retire"
+	case CycleStallDemand:
+		return "demand-miss"
+	case CycleStallResource:
+		return "mshr-full"
+	case CycleCompute:
+		return "compute"
+	case CycleIdle:
+		return "idle"
+	default:
+		return "unknown"
+	}
+}
+
+// CycleClassNames returns the class labels in CycleClass order, for table
+// headers and metric names.
+func CycleClassNames() []string {
+	out := make([]string, NumCycleClasses)
+	for c := CycleClass(0); c < NumCycleClasses; c++ {
+		out[c] = c.String()
+	}
+	return out
+}
+
+// CycleAccount is a per-class cycle tally.
+type CycleAccount [NumCycleClasses]uint64
+
+// Total returns the cycles accounted (equals the profiled cycle count).
+func (a *CycleAccount) Total() uint64 {
+	var t uint64
+	for _, v := range a {
+		t += v
+	}
+	return t
+}
+
 // Config shapes a core. Zero values fall back to the paper's baseline
 // (Table 3): 256-entry ROB, 4-wide retire.
 type Config struct {
@@ -53,6 +117,7 @@ type robEntry struct {
 	readyAt  uint64
 	issued   bool
 	tried    bool   // reached the memory hierarchy at least once
+	rejected bool   // last issue attempt was a resource-full rejection
 	retryAt  uint64 // back-off deadline after a resource-full rejection
 	l2miss   bool   // became Pending (true long-latency miss)
 	runahead bool   // fetched during runahead mode
@@ -83,12 +148,56 @@ type Core struct {
 	raBlockSeq uint64 // seq of the load that triggered runahead
 	raResume   uint64 // instruction index to replay from on exit
 
+	// acct, when non-nil, attributes every cycle to one CycleClass; nil
+	// (the default) keeps the uninstrumented Tick free of profiling work
+	// beyond one pointer compare.
+	acct *CycleAccount
+
 	// Stats.
 	Retired     uint64
 	Loads       uint64
 	StallCycles uint64 // cycles retirement was blocked by an unready load
 	RAEntries   uint64 // times runahead mode was entered
 	RAInsts     uint64 // instructions pseudo-executed in runahead mode
+}
+
+// EnableAccounting turns on per-cycle attribution. Call before the first
+// Tick so the account covers the whole run.
+func (c *Core) EnableAccounting() { c.acct = new(CycleAccount) }
+
+// Account returns the cycle attribution (nil unless EnableAccounting was
+// called).
+func (c *Core) Account() *CycleAccount { return c.acct }
+
+// AccountSnapshot returns a copy of the attribution as a slice in
+// CycleClass order, or nil when accounting is off. The copy freezes a
+// core's buckets at its instruction target while the core keeps running
+// for contention.
+func (c *Core) AccountSnapshot() []uint64 {
+	if c.acct == nil {
+		return nil
+	}
+	out := make([]uint64, NumCycleClasses)
+	copy(out, c.acct[:])
+	return out
+}
+
+// classifyCycle attributes the cycle that just failed to retire anything:
+// the ROB-head entry names the bounding resource.
+func (c *Core) classifyCycle() CycleClass {
+	if c.count == 0 {
+		return CycleIdle
+	}
+	e := c.at(0)
+	if e.isLoad {
+		switch {
+		case e.issued && !e.ready && e.l2miss:
+			return CycleStallDemand
+		case !e.issued && e.rejected:
+			return CycleStallResource
+		}
+	}
+	return CycleCompute
 }
 
 // New builds a core executing gen against mem.
@@ -158,6 +267,7 @@ func (c *Core) exitRunahead() {
 // from the head, then fetch/dispatch up to Width new ones.
 func (c *Core) Tick(now uint64) {
 	// Retire.
+	retired := false
 	for w := 0; w < c.cfg.Width && c.count > 0; w++ {
 		e := c.at(0)
 		if c.inRunahead && e.issued && e.l2miss && !e.ready {
@@ -182,8 +292,19 @@ func (c *Core) Tick(now uint64) {
 				c.Loads++
 			}
 		}
+		retired = true
 		c.head = (c.head + 1) % len(c.buf)
 		c.count--
+	}
+
+	// Attribute the cycle before fetch refills the window: the head that
+	// blocked retirement (or the empty window) names the cycle's class.
+	if c.acct != nil {
+		if retired {
+			c.acct[CycleRetire]++
+		} else {
+			c.acct[c.classifyCycle()]++
+		}
 	}
 
 	// Issue any dispatched-but-unissued loads whose dependence or resource
@@ -256,9 +377,11 @@ func (c *Core) tryIssue(e *robEntry, now uint64) bool {
 	if res.Retry {
 		// Resources (MSHR or request buffer) are full; back off a few
 		// cycles rather than hammering the hierarchy every cycle.
+		e.rejected = true
 		e.retryAt = now + 8
 		return false
 	}
+	e.rejected = false
 	e.issued = true
 	if res.Pending {
 		e.l2miss = true

@@ -222,3 +222,73 @@ func TestDeterministicProgress(t *testing.T) {
 		t.Fatalf("nondeterminism: %d/%d %d/%d", a.Retired, b.Retired, a.StallCycles, b.StallCycles)
 	}
 }
+
+func TestAccountingOffByDefault(t *testing.T) {
+	c := New(0, Config{ROB: 8, Width: 2}, trace.Gen{Pattern: pattern{}, MemEvery: 4}, newFakeMem())
+	run(c, 100)
+	if c.Account() != nil || c.AccountSnapshot() != nil {
+		t.Fatal("accounting should be off unless EnableAccounting is called")
+	}
+}
+
+func TestAccountingSumsToTickedCycles(t *testing.T) {
+	m := newFakeMem()
+	m.pending[0] = true // mix in a long-latency demand stall
+	c := New(0, Config{ROB: 16, Width: 4}, trace.Gen{Pattern: pattern{}, MemEvery: 4}, m)
+	c.EnableAccounting()
+	const cycles = 137
+	run(c, cycles)
+	if got := c.Account().Total(); got != cycles {
+		t.Fatalf("attribution sums to %d, want every ticked cycle (%d)", got, cycles)
+	}
+	snap := c.AccountSnapshot()
+	if len(snap) != int(NumCycleClasses) {
+		t.Fatalf("snapshot has %d classes, want %d", len(snap), NumCycleClasses)
+	}
+	var sum uint64
+	for _, v := range snap {
+		sum += v
+	}
+	if sum != cycles {
+		t.Fatalf("snapshot sums to %d, want %d", sum, cycles)
+	}
+}
+
+func TestAccountingPureComputeRetires(t *testing.T) {
+	c := New(0, Config{ROB: 64, Width: 4}, trace.Gen{Pattern: pattern{}, MemEvery: 1 << 60}, newFakeMem())
+	c.EnableAccounting()
+	run(c, 1000)
+	a := c.Account()
+	if a[CycleRetire] < 900 {
+		t.Fatalf("pure compute should retire nearly every cycle, got %v", *a)
+	}
+	if a[CycleStallDemand] != 0 || a[CycleStallResource] != 0 {
+		t.Fatalf("pure compute charged memory stalls: %v", *a)
+	}
+}
+
+func TestAccountingDemandMissStall(t *testing.T) {
+	m := newFakeMem()
+	for i := uint64(0); i < 1000; i++ {
+		m.pending[i] = true // every load is an unfilled long-latency miss
+	}
+	c := New(0, Config{ROB: 16, Width: 4}, trace.Gen{Pattern: pattern{}, MemEvery: 2}, m)
+	c.EnableAccounting()
+	run(c, 500)
+	a := c.Account()
+	if a[CycleStallDemand] < 400 {
+		t.Fatalf("blocked demand miss should dominate, got %v", *a)
+	}
+}
+
+func TestAccountingResourceStall(t *testing.T) {
+	m := newFakeMem()
+	m.retryLeft[0] = 1 << 30 // the first load is rejected (MSHR full) forever
+	c := New(0, Config{ROB: 8, Width: 1}, trace.Gen{Pattern: pattern{}, MemEvery: 1}, m)
+	c.EnableAccounting()
+	run(c, 300)
+	a := c.Account()
+	if a[CycleStallResource] < 200 {
+		t.Fatalf("resource-full rejection should dominate, got %v", *a)
+	}
+}

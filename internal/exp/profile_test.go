@@ -1,0 +1,32 @@
+package exp
+
+import (
+	"strings"
+	"testing"
+
+	"padc/internal/cpu"
+	"padc/internal/stats"
+)
+
+func TestProfileTableRendering(t *testing.T) {
+	res := stats.Results{PerCore: []stats.CoreResult{
+		{Benchmark: "swim", Attribution: []uint64{100, 800, 50, 25, 25}},
+		{Benchmark: "eon"}, // no attribution: skipped
+	}}
+	out := ProfileTable(res).String()
+	for _, want := range append(cpu.CycleClassNames(), "swim", "10.0%", "80.0%", "1000") {
+		if !strings.Contains(out, want) {
+			t.Errorf("table missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "eon") {
+		t.Errorf("core without attribution should be skipped:\n%s", out)
+	}
+}
+
+func TestProfileTableDisabled(t *testing.T) {
+	out := ProfileTable(stats.Results{PerCore: []stats.CoreResult{{Benchmark: "swim"}}}).String()
+	if !strings.Contains(out, "disabled") {
+		t.Errorf("all-disabled table should say so:\n%s", out)
+	}
+}

@@ -62,11 +62,12 @@ type Request struct {
 	Arrival  uint64
 	seq      uint64 // FCFS tiebreak
 
-	Inflight  bool
-	FinishAt  uint64
-	IssueHit  bool // the DRAM access was a row hit
-	RowState  dram.RowState
-	ServiceAt uint64
+	Inflight   bool
+	FinishAt   uint64
+	IssueHit   bool // the DRAM access was a row hit
+	RowState   dram.RowState
+	ServiceAt  uint64
+	PromotedAt uint64 // cycle a demand promoted this prefetch (0 = never)
 }
 
 // Age returns how long the request has been buffered. It clamps to 0 when
@@ -182,18 +183,22 @@ func (c *Controller) Enqueue(r *Request) bool {
 }
 
 // MatchPrefetch looks for a buffered (waiting or in-flight) prefetch from
-// core for line and promotes it to demand criticality, returning it; nil
-// if absent. Per the paper's §4.1 a promoted prefetch counts as useful.
-func (c *Controller) MatchPrefetch(core int, line uint64) *Request {
+// core for line and promotes it to demand criticality at cycle now,
+// returning it; nil if absent. Per the paper's §4.1 a promoted prefetch
+// counts as useful. The promotion cycle is stamped into the request so
+// lifecycle tracing can report how long the prefetch ran speculatively.
+func (c *Controller) MatchPrefetch(core int, line uint64, now uint64) *Request {
 	for _, r := range c.queue {
 		if r.Core == core && r.Line == line && r.Prefetch {
 			r.Prefetch = false
+			r.PromotedAt = now
 			return r
 		}
 	}
 	for _, r := range c.inflight {
 		if r.Core == core && r.Line == line && r.Prefetch {
 			r.Prefetch = false
+			r.PromotedAt = now
 			return r
 		}
 	}

@@ -147,14 +147,17 @@ func TestMatchPrefetchPromotes(t *testing.T) {
 	c := New(DemandFirst, oneBank(), 16, nil)
 	p := req(3, 42, 5, true)
 	c.Enqueue(p)
-	got := c.MatchPrefetch(3, 42)
+	got := c.MatchPrefetch(3, 42, 17)
 	if got != p || p.Prefetch {
 		t.Fatal("promotion failed")
 	}
-	if c.MatchPrefetch(3, 42) != nil {
+	if p.PromotedAt != 17 {
+		t.Fatalf("PromotedAt = %d, want the promotion cycle 17", p.PromotedAt)
+	}
+	if c.MatchPrefetch(3, 42, 18) != nil {
 		t.Fatal("double promotion")
 	}
-	if c.MatchPrefetch(2, 42) != nil {
+	if c.MatchPrefetch(2, 42, 19) != nil {
 		t.Fatal("cross-core promotion")
 	}
 }

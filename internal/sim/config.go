@@ -12,6 +12,7 @@ import (
 	"padc/internal/dram"
 	"padc/internal/memctrl"
 	"padc/internal/telemetry"
+	"padc/internal/telemetry/lifecycle"
 	"padc/internal/workload"
 )
 
@@ -99,6 +100,17 @@ type Config struct {
 	// events; see internal/telemetry. Nil — the default — disables all
 	// instrumentation, leaving the hot path with only nil compares.
 	Telemetry *telemetry.Telemetry
+
+	// Lifecycle, when non-nil, receives one span per completed or dropped
+	// memory request (queue-wait vs. service decomposition, request class,
+	// row outcome); see internal/telemetry/lifecycle. Nil disables span
+	// tracing at one pointer compare per request retirement.
+	Lifecycle *lifecycle.Tracer
+
+	// Profile enables per-core cycle accounting: every core cycle is
+	// attributed to exactly one cpu.CycleClass bucket, snapshotted into
+	// stats.CoreResult.Attribution at the core's instruction target.
+	Profile bool
 }
 
 // Baseline returns the paper's baseline system for ncores in {1, 2, 4, 8}

@@ -1,11 +1,14 @@
 package sim
 
 import (
+	"reflect"
 	"testing"
 
+	"padc/internal/cpu"
 	"padc/internal/memctrl"
 	"padc/internal/stats"
 	"padc/internal/telemetry"
+	"padc/internal/telemetry/lifecycle"
 	"padc/internal/workload"
 )
 
@@ -71,7 +74,7 @@ func TestDeterminism(t *testing.T) {
 		t.Fatalf("nondeterministic runs:\n%+v\n%+v", a, b)
 	}
 	for i := range a.PerCore {
-		if a.PerCore[i] != b.PerCore[i] {
+		if !reflect.DeepEqual(a.PerCore[i], b.PerCore[i]) {
 			t.Fatalf("core %d diverged", i)
 		}
 	}
@@ -364,5 +367,70 @@ func TestTelemetryDisabledIdenticalResults(t *testing.T) {
 		base.PerCore[0].Retired != instrumented.PerCore[0].Retired {
 		t.Fatalf("telemetry changed the simulation: %d/%d cycles, %d/%d serviced",
 			base.Cycles, instrumented.Cycles, base.Serviced, instrumented.Serviced)
+	}
+}
+
+func TestProfileAttributionSumsToCycles(t *testing.T) {
+	cfg := quickCfg(2, "swim", "art")
+	cfg.Profile = true
+	res := mustRun(t, cfg)
+	for i, c := range res.PerCore {
+		if len(c.Attribution) != int(cpu.NumCycleClasses) {
+			t.Fatalf("core %d: attribution has %d classes, want %d", i, len(c.Attribution), cpu.NumCycleClasses)
+		}
+		var sum uint64
+		for _, v := range c.Attribution {
+			sum += v
+		}
+		if sum != c.Cycles {
+			t.Errorf("core %d: attribution sums to %d, want the frozen cycle count %d", i, sum, c.Cycles)
+		}
+	}
+}
+
+func TestProfileOffLeavesNoAttribution(t *testing.T) {
+	res := mustRun(t, quickCfg(1, "swim"))
+	if res.PerCore[0].Attribution != nil {
+		t.Fatal("attribution present without Profile")
+	}
+}
+
+func TestLifecycleSpansRecorded(t *testing.T) {
+	cfg := quickCfg(2, "swim", "art")
+	tr := lifecycle.New(lifecycle.Options{})
+	cfg.Lifecycle = tr
+	res := mustRun(t, cfg)
+	if tr.Recorded() == 0 {
+		t.Fatal("no lifecycle spans recorded")
+	}
+	// Every serviced request ends in exactly one span; drops add more.
+	if tr.Recorded() < res.Serviced {
+		t.Fatalf("recorded %d spans < %d serviced requests", tr.Recorded(), res.Serviced)
+	}
+	var demand, dropped uint64
+	for core := 0; core < tr.Cores(); core++ {
+		bd := tr.Breakdown(core)
+		demand += bd.Total(lifecycle.ClassDemand).Count
+		dropped += bd.Total(lifecycle.ClassDropped).Count
+	}
+	if demand == 0 {
+		t.Fatal("no demand spans folded")
+	}
+	if dropped != res.Dropped {
+		t.Fatalf("dropped spans %d != dropped counter %d", dropped, res.Dropped)
+	}
+	for _, sp := range tr.Spans() {
+		if sp.Class == lifecycle.ClassDropped {
+			if sp.Issue != 0 || sp.Service() != 0 {
+				t.Fatalf("dropped span claims DRAM service: %+v", sp)
+			}
+			continue
+		}
+		if sp.Issue < sp.Enqueue || sp.Finish < sp.Issue {
+			t.Fatalf("span stamps out of order: %+v", sp)
+		}
+		if sp.Row == lifecycle.RowNone {
+			t.Fatalf("serviced span has no row outcome: %+v", sp)
+		}
 	}
 }

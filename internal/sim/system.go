@@ -11,6 +11,7 @@ import (
 	"padc/internal/prefetch"
 	"padc/internal/stats"
 	"padc/internal/telemetry"
+	"padc/internal/telemetry/lifecycle"
 	"padc/internal/workload"
 )
 
@@ -81,6 +82,7 @@ type System struct {
 
 	tel     *telemetry.Telemetry // nil when telemetry is disabled
 	svcHist *telemetry.Histogram // dram/service_cycles (nil-safe)
+	lc      *lifecycle.Tracer    // nil when span tracing is disabled
 }
 
 // New builds a System from cfg.
@@ -131,8 +133,12 @@ func New(cfg Config) (*System, error) {
 			cc.pf = cc.fdp
 		}
 		cc.core = cpu.New(i, cfg.Core, prof.Gen, s)
+		if cfg.Profile {
+			cc.core.EnableAccounting()
+		}
 		s.cores[i] = cc
 	}
+	s.lc = cfg.Lifecycle
 
 	if cfg.TrackServiceHist {
 		s.histUseful = make([]uint64, histBuckets)
@@ -175,7 +181,16 @@ func (s *System) instrument(tel *telemetry.Telemetry) {
 		tel.CounterFunc(pre+"/pref_used", func() uint64 { return cs.prefUsed })
 		tel.CounterFunc(pre+"/pref_dropped", func() uint64 { return cs.prefDropped })
 		tel.CounterFunc(pre+"/mshr_stalls", func() uint64 { return cs.mshr.FullStalls })
+		tel.CounterFunc(pre+"/mshr_stalls_demand", func() uint64 { return cs.mshr.FullStallsDemand })
+		tel.CounterFunc(pre+"/mshr_stalls_pref", func() uint64 { return cs.mshr.FullStallsPref })
 		tel.GaugeFunc(pre+"/mshr_occupancy", func() float64 { return float64(cs.mshr.Len()) })
+		if acct := cs.core.Account(); acct != nil {
+			// Per-epoch deltas of these expose stall phases in the series.
+			for k := cpu.CycleClass(0); k < cpu.NumCycleClasses; k++ {
+				k := k
+				tel.CounterFunc(fmt.Sprintf("%s/cycles_%s", pre, k), func() uint64 { return acct[k] })
+			}
+		}
 		tel.GaugeFunc(pre+"/ipc", func() float64 {
 			if s.cycle == 0 {
 				return 0
@@ -273,7 +288,7 @@ func (s *System) Load(coreID int, seq, line, pc uint64, runahead bool, now uint6
 		if e.Prefetch {
 			e.Prefetch = false
 			addr := s.cfg.DRAM.Map(g)
-			s.ctrlFor(addr).MatchPrefetch(coreID, g)
+			s.ctrlFor(addr).MatchPrefetch(coreID, g, now)
 			s.noteUseful(cs, g, false, true)
 		}
 		e.Waiters = append(e.Waiters, cache.Waiter{Core: coreID, Seq: seq})
@@ -281,11 +296,14 @@ func (s *System) Load(coreID int, seq, line, pc uint64, runahead bool, now uint6
 	}
 
 	if cs.mshr.Full() {
-		if firstTry && s.tel != nil {
-			s.tel.Emit(telemetry.Event{
-				Cycle: now, Kind: telemetry.EvMSHRStall,
-				Core: int16(coreID), Chan: -1, Bank: -1, Line: g,
-			})
+		if firstTry {
+			cs.mshr.NoteFullStall(false)
+			if s.tel != nil {
+				s.tel.Emit(telemetry.Event{
+					Cycle: now, Kind: telemetry.EvMSHRStall,
+					Core: int16(coreID), Chan: -1, Bank: -1, Line: g,
+				})
+			}
 		}
 		return cpu.LoadResult{Retry: true}
 	}
@@ -365,6 +383,7 @@ func (s *System) observe(cs *coreCtx, ev prefetch.AccessEvent, now uint64) {
 			continue // already present or outstanding
 		}
 		if cs.mshr.Full() {
+			cs.mshr.NoteFullStall(true)
 			cs.pfqDropped++
 			continue
 		}
@@ -395,6 +414,33 @@ func histBucket(t uint64) int {
 	return b
 }
 
+// rowOutcome lowers a dram.RowState onto the lifecycle mirror type.
+func rowOutcome(st dram.RowState) lifecycle.RowOutcome {
+	switch st {
+	case dram.RowHit:
+		return lifecycle.RowHit
+	case dram.RowClosed:
+		return lifecycle.RowClosed
+	default:
+		return lifecycle.RowConflict
+	}
+}
+
+// span assembles the lifecycle record of a serviced request from the
+// stage stamps the controller left on it.
+func (s *System) span(r *memctrl.Request, class lifecycle.Class) lifecycle.Span {
+	busStart := r.FinishAt
+	if burst := s.cfg.DRAM.Timing.Burst; busStart > burst {
+		busStart -= burst
+	}
+	return lifecycle.Span{
+		Enqueue: r.Arrival, Promote: r.PromotedAt, Issue: r.ServiceAt,
+		Bus: busStart, Finish: r.FinishAt,
+		Line: r.Line, Class: class, Row: rowOutcome(r.RowState),
+		Core: int16(r.Core), Chan: int16(r.Addr.Channel), Bank: int16(r.Addr.Bank),
+	}
+}
+
 // complete retires one serviced DRAM request back into the hierarchy.
 func (s *System) complete(r *memctrl.Request, now uint64) {
 	cs := s.cores[r.Core]
@@ -410,6 +456,17 @@ func (s *System) complete(r *memctrl.Request, now uint64) {
 			Core: int16(r.Core), Chan: int16(r.Addr.Channel), Bank: int16(r.Addr.Bank),
 			Line: r.Line, A: r.FinishAt - r.ServiceAt,
 		})
+	}
+	if s.lc != nil {
+		class := lifecycle.ClassDemand
+		switch {
+		case !r.WasPref:
+		case !r.Prefetch:
+			class = lifecycle.ClassPrefUseful
+		default:
+			class = lifecycle.ClassPrefPure
+		}
+		s.lc.Record(s.span(r, class))
 	}
 
 	switch {
@@ -473,6 +530,13 @@ func (s *System) dropExpired(now uint64) {
 			cs := s.cores[r.Core]
 			cs.mshr.Release(r.Line)
 			cs.prefDropped++
+			if s.lc != nil {
+				s.lc.Record(lifecycle.Span{
+					Enqueue: r.Arrival, Finish: now,
+					Line: r.Line, Class: lifecycle.ClassDropped, Row: lifecycle.RowNone,
+					Core: int16(r.Core), Chan: int16(r.Addr.Channel), Bank: int16(r.Addr.Bank),
+				})
+			}
 		}
 	}
 }
@@ -491,6 +555,7 @@ func (s *System) freeze(cs *coreCtx) {
 		PrefSent:    cs.prefSent,
 		PrefUsed:    cs.prefUsed,
 		PrefDropped: cs.prefDropped,
+		Attribution: cs.core.AccountSnapshot(),
 	}
 	cs.snapBusDemand = cs.busDemand
 	cs.snapBusPure = cs.busPrefPure

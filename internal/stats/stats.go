@@ -22,6 +22,11 @@ type CoreResult struct {
 	PrefSent    uint64 // prefetches admitted to the memory request buffer
 	PrefUsed    uint64 // useful prefetches (promoted or hit in cache)
 	PrefDropped uint64
+
+	// Attribution holds the cycle-accounting profile in cpu.CycleClass
+	// order (retire, demand-miss, mshr-full, compute, idle); nil unless
+	// the run enabled profiling. The entries sum to Cycles.
+	Attribution []uint64
 }
 
 // IPC returns retired instructions per cycle.
@@ -137,9 +142,14 @@ func WS(together []CoreResult, ipcAlone []float64) float64 {
 }
 
 // HS returns the harmonic mean of speedups (inverse job turnaround time).
+// An empty run, or any core with a non-positive speedup (e.g. a zero
+// IPC_alone baseline), yields 0 rather than NaN.
 func HS(together []CoreResult, ipcAlone []float64) float64 {
-	var inv float64
 	ss := IndividualSpeedups(together, ipcAlone)
+	if len(ss) == 0 {
+		return 0
+	}
+	var inv float64
 	for _, s := range ss {
 		if s <= 0 {
 			return 0
@@ -149,9 +159,14 @@ func HS(together []CoreResult, ipcAlone []float64) float64 {
 	return float64(len(ss)) / inv
 }
 
-// UF returns unfairness: max speedup over min speedup (§6.3.4).
+// UF returns unfairness: max speedup over min speedup (§6.3.4). An empty
+// run yields 0; a core with a non-positive speedup yields +Inf (maximally
+// unfair), never NaN.
 func UF(together []CoreResult, ipcAlone []float64) float64 {
 	ss := IndividualSpeedups(together, ipcAlone)
+	if len(ss) == 0 {
+		return 0
+	}
 	mn, mx := math.Inf(1), math.Inf(-1)
 	for _, s := range ss {
 		mn = math.Min(mn, s)

@@ -122,3 +122,71 @@ func TestResultsRates(t *testing.T) {
 		t.Fatal("zero results rates")
 	}
 }
+
+func TestSpeedupMetricsEmptyInput(t *testing.T) {
+	for name, got := range map[string]float64{
+		"WS": WS(nil, nil), "HS": HS(nil, nil), "UF": UF(nil, nil),
+	} {
+		if got != 0 {
+			t.Errorf("%s on an empty run = %v, want 0", name, got)
+		}
+	}
+	if IndividualSpeedups(nil, nil) == nil {
+		// A non-nil empty slice keeps range loops and len() uniform.
+		t.Error("IndividualSpeedups(nil) should return an empty slice, not nil")
+	}
+}
+
+func TestZeroIPCAloneBaseline(t *testing.T) {
+	// A zero alone-IPC baseline (e.g. a misconfigured reference run) must
+	// yield a zero speedup for that core, not Inf or NaN.
+	together := mkCores(0.5, 1.0)
+	alone := []float64{0, 1}
+	ss := IndividualSpeedups(together, alone)
+	if ss[0] != 0 || ss[1] != 1 {
+		t.Fatalf("speedups with zero baseline = %v, want [0 1]", ss)
+	}
+	if got := WS(together, alone); got != 1 {
+		t.Errorf("WS = %v, want the surviving core's 1", got)
+	}
+	if got := HS(together, alone); got != 0 {
+		t.Errorf("HS = %v, want 0 for a non-positive speedup", got)
+	}
+	if got := UF(together, alone); !math.IsInf(got, 1) {
+		t.Errorf("UF = %v, want +Inf (maximally unfair), never NaN", got)
+	}
+}
+
+func TestMeanEdgeCases(t *testing.T) {
+	if Mean(nil) != 0 {
+		t.Error("Mean of nothing should be 0")
+	}
+	if got := Mean([]float64{1, 2, 3}); math.Abs(got-2) > 1e-12 {
+		t.Errorf("Mean = %v", got)
+	}
+	if got := Mean([]float64{1, math.NaN()}); !math.IsNaN(got) {
+		t.Errorf("Mean should propagate NaN, got %v", got)
+	}
+}
+
+func TestGeoMeanNaNPropagates(t *testing.T) {
+	// NaN is not <= 0, so it flows through the log/exp pipeline: garbage
+	// in, NaN out — callers see the poisoned input rather than a silently
+	// plausible number.
+	if got := GeoMean([]float64{2, math.NaN()}); !math.IsNaN(got) {
+		t.Errorf("GeoMean should propagate NaN, got %v", got)
+	}
+	if got := GeoMean([]float64{math.Inf(1), 2}); !math.IsInf(got, 1) {
+		t.Errorf("GeoMean of +Inf input = %v, want +Inf", got)
+	}
+}
+
+func TestHSNeverNaN(t *testing.T) {
+	cases := [][]float64{{0, 0}, {0, 1}, {1, 1}}
+	for _, alone := range cases {
+		got := HS(mkCores(1, 1), alone)
+		if math.IsNaN(got) {
+			t.Errorf("HS with alone=%v is NaN", alone)
+		}
+	}
+}

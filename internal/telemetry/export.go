@@ -69,6 +69,15 @@ const chromeCorePID = 1000
 // drops, promotions, rejects and stalls render as instant ("i") events.
 // Timestamps are microseconds at the 4GHz core clock.
 func (t *Telemetry) WriteChromeTrace(w io.Writer) error {
+	return t.WriteChromeTraceWith(w, nil)
+}
+
+// WriteChromeTraceWith is WriteChromeTrace with a hook: extra, when
+// non-nil, is called with the raw trace_event emitter so other layers
+// (lifecycle span tracing) can interleave their slices into the same
+// trace file. The emitter handles comma placement; each call must format
+// one complete trace_event JSON object.
+func (t *Telemetry) WriteChromeTraceWith(w io.Writer, extra func(emit func(format string, args ...any))) error {
 	bw := bufio.NewWriter(w)
 	bw.WriteString(`{"displayTimeUnit":"ms","traceEvents":[`)
 	first := true
@@ -119,6 +128,59 @@ func (t *Telemetry) WriteChromeTrace(w io.Writer) error {
 				ev.Kind.String(), ts, chromeCorePID, ev.Core, ev.A)
 		}
 	}
+	if extra != nil {
+		extra(emit)
+	}
 	bw.WriteString("]}")
 	return bw.Flush()
+}
+
+// WritePrometheus writes every registered metric in the Prometheus text
+// exposition format, for the CLI's live -http endpoint. Slash-scoped
+// metric names are flattened to padc_<name> with non-alphanumerics
+// replaced by underscores; counters and gauges carry their kind, and
+// histograms expand to the cumulative _bucket/_sum/_count triple.
+func (t *Telemetry) WritePrometheus(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if t == nil {
+		return bw.Flush()
+	}
+	for _, m := range t.metrics {
+		name := promName(m.name)
+		kind := "counter"
+		if m.kind == KindGauge {
+			kind = "gauge"
+		}
+		fmt.Fprintf(bw, "# TYPE %s %s\n%s %s\n",
+			name, kind, name, strconv.FormatFloat(m.read(), 'g', -1, 64))
+	}
+	for _, h := range t.hists {
+		name := promName(h.name)
+		fmt.Fprintf(bw, "# TYPE %s histogram\n", name)
+		var cum uint64
+		for i, c := range h.counts {
+			cum += c
+			if i < len(h.bounds) {
+				fmt.Fprintf(bw, "%s_bucket{le=\"%d\"} %d\n", name, h.bounds[i], cum)
+			} else {
+				fmt.Fprintf(bw, "%s_bucket{le=\"+Inf\"} %d\n", name, cum)
+			}
+		}
+		fmt.Fprintf(bw, "%s_sum %d\n%s_count %d\n", name, h.Sum(), name, h.Total())
+	}
+	return bw.Flush()
+}
+
+// promName flattens a slash-scoped metric name into a Prometheus-legal
+// one: "memctrl0/drops" -> "padc_memctrl0_drops".
+func promName(name string) string {
+	b := []byte("padc_" + name)
+	for i := 5; i < len(b); i++ {
+		c := b[i]
+		if c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c >= '0' && c <= '9' || c == '_' {
+			continue
+		}
+		b[i] = '_'
+	}
+	return string(b)
 }

@@ -68,6 +68,7 @@ type Histogram struct {
 	name   string
 	bounds []uint64
 	counts []uint64
+	sum    uint64
 }
 
 // Observe books one observation of v.
@@ -77,6 +78,16 @@ func (h *Histogram) Observe(v uint64) {
 	}
 	i := sort.Search(len(h.bounds), func(i int) bool { return v <= h.bounds[i] })
 	h.counts[i]++
+	h.sum += v
+}
+
+// Sum returns the summed observed values (0 for a nil histogram), the
+// Prometheus exposition's <name>_sum.
+func (h *Histogram) Sum() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.sum
 }
 
 // Total returns the number of observations.

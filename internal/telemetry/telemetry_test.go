@@ -229,3 +229,120 @@ func BenchmarkEmit(b *testing.B) {
 		tel.Emit(Event{Cycle: uint64(i), Kind: EvEnqueue})
 	}
 }
+
+func TestWraparoundOrderingInExporters(t *testing.T) {
+	// Overflow a 4-slot ring and confirm both line-oriented exporters see
+	// the survivors oldest-first — the overwrite must not leave the output
+	// rotated to the ring's physical layout.
+	tel := New(Options{EventCapacity: 4})
+	// 1000-cycle spacing keeps timestamps distinct after the exporter's
+	// microsecond rounding.
+	for i := 0; i < 11; i++ {
+		tel.Emit(Event{Cycle: uint64(1000 * (i + 1)), Kind: EvEnqueue, Core: 0, Chan: 0, Bank: int16(i % 8), Line: uint64(i)})
+	}
+
+	var jsonl strings.Builder
+	if err := tel.WriteJSONL(&jsonl); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(jsonl.String()), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("JSONL has %d lines, want the ring capacity 4", len(lines))
+	}
+	prev := -1
+	for _, ln := range lines {
+		var obj struct {
+			Cycle int `json:"cycle"`
+			Line  int `json:"line"`
+		}
+		if err := json.Unmarshal([]byte(ln), &obj); err != nil {
+			t.Fatalf("bad JSONL line %q: %v", ln, err)
+		}
+		if obj.Cycle <= prev {
+			t.Fatalf("JSONL out of order: cycle %d after %d", obj.Cycle, prev)
+		}
+		if obj.Cycle < 8000 {
+			t.Fatalf("JSONL kept overwritten event at cycle %d", obj.Cycle)
+		}
+		prev = obj.Cycle
+	}
+
+	var tr strings.Builder
+	if err := tel.WriteChromeTrace(&tr); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Ph string  `json:"ph"`
+			Ts float64 `json:"ts"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal([]byte(tr.String()), &doc); err != nil {
+		t.Fatalf("invalid Chrome trace: %v", err)
+	}
+	var tss []float64
+	for _, ev := range doc.TraceEvents {
+		if ev.Ph == "i" {
+			tss = append(tss, ev.Ts)
+		}
+	}
+	if len(tss) != 4 {
+		t.Fatalf("trace has %d instants, want 4", len(tss))
+	}
+	for i := 1; i < len(tss); i++ {
+		if tss[i] <= tss[i-1] {
+			t.Fatalf("trace instants out of order: %v", tss)
+		}
+	}
+}
+
+func TestHistogramSum(t *testing.T) {
+	tel := New(Options{})
+	h := tel.Histogram("memctrl0/queue_wait", []uint64{10, 100})
+	for _, v := range []uint64{5, 50, 500} {
+		h.Observe(v)
+	}
+	if h.Sum() != 555 || h.Total() != 3 {
+		t.Fatalf("sum/total = %d/%d, want 555/3", h.Sum(), h.Total())
+	}
+	var nilH *Histogram
+	if nilH.Sum() != 0 {
+		t.Fatal("nil histogram sum should be 0")
+	}
+}
+
+func TestWritePrometheus(t *testing.T) {
+	tel := New(Options{})
+	tel.Counter("memctrl0/drops").Add(7)
+	tel.GaugeFunc("core0/acc-estimate", func() float64 { return 0.25 })
+	h := tel.Histogram("memctrl0/queue_wait", []uint64{10, 100})
+	h.Observe(5)
+	h.Observe(50)
+	h.Observe(500)
+
+	var b strings.Builder
+	if err := tel.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"# TYPE padc_memctrl0_drops counter\npadc_memctrl0_drops 7\n",
+		"# TYPE padc_core0_acc_estimate gauge\npadc_core0_acc_estimate 0.25\n",
+		"# TYPE padc_memctrl0_queue_wait histogram\n",
+		`padc_memctrl0_queue_wait_bucket{le="10"} 1`,
+		`padc_memctrl0_queue_wait_bucket{le="100"} 2`,
+		`padc_memctrl0_queue_wait_bucket{le="+Inf"} 3`,
+		"padc_memctrl0_queue_wait_sum 555",
+		"padc_memctrl0_queue_wait_count 3",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Prometheus output missing %q:\n%s", want, out)
+		}
+	}
+
+	var nilTel *Telemetry
+	b.Reset()
+	if err := nilTel.WritePrometheus(&b); err != nil || b.Len() != 0 {
+		t.Fatalf("nil telemetry should write nothing: err=%v out=%q", err, b.String())
+	}
+}

@@ -20,10 +20,12 @@ import (
 	"sort"
 
 	"padc/internal/core"
+	"padc/internal/cpu"
 	"padc/internal/memctrl"
 	"padc/internal/sim"
 	"padc/internal/stats"
 	"padc/internal/telemetry"
+	"padc/internal/telemetry/lifecycle"
 	"padc/internal/workload"
 )
 
@@ -92,6 +94,18 @@ type SystemConfig struct {
 	// export with its WriteCSV / WriteJSONL / WriteChromeTrace / Summary
 	// methods). Nil keeps the simulator on the uninstrumented fast path.
 	Telemetry *telemetry.Telemetry
+
+	// Lifecycle, when non-nil, traces every memory request end to end
+	// (enqueue, promotion, issue, bus, completion/drop) into per-core
+	// queue-wait/service breakdowns and a sampled span reservoir (build
+	// one with NewLifecycle; export with its WriteCSV / WriteJSONL /
+	// BreakdownTable methods or fold its spans into a Chrome trace).
+	Lifecycle *lifecycle.Tracer
+
+	// Profile enables the cycle-accounting profiler: each core cycle is
+	// attributed to exactly one bucket (retire, demand-miss, mshr-full,
+	// compute, idle) and reported in Result.Cores[i].Attribution.
+	Profile bool
 }
 
 // NewTelemetry builds a telemetry sink sampling every epochCycles cycles
@@ -100,6 +114,17 @@ type SystemConfig struct {
 func NewTelemetry(epochCycles uint64) *telemetry.Telemetry {
 	return telemetry.New(telemetry.Options{EpochCycles: epochCycles})
 }
+
+// NewLifecycle builds a request-lifecycle tracer retaining up to
+// reservoirPerCore sampled spans per core (0 uses the default). Attach it
+// to SystemConfig.Lifecycle before Run.
+func NewLifecycle(reservoirPerCore int) *lifecycle.Tracer {
+	return lifecycle.New(lifecycle.Options{ReservoirPerCore: reservoirPerCore})
+}
+
+// CycleClassNames returns the cycle-accounting bucket names in the order
+// CoreResult.Attribution uses.
+func CycleClassNames() []string { return cpu.CycleClassNames() }
 
 // DefaultSystem returns the paper's baseline machine for ncores in
 // {1, 2, 4, 8}, running the full PADC (APS + APD + urgency).
@@ -167,6 +192,8 @@ func (c SystemConfig) toSim() (sim.Config, error) {
 		cfg.TargetInsts = c.TargetInsts
 	}
 	cfg.Telemetry = c.Telemetry
+	cfg.Lifecycle = c.Lifecycle
+	cfg.Profile = c.Profile
 	// Full validation (including the workload) happens in sim.Run.
 	return cfg, nil
 }
@@ -181,6 +208,10 @@ type CoreResult struct {
 	PrefCoverage float64
 	PrefSent     uint64
 	PrefDropped  uint64
+
+	// Attribution is the cycle-accounting profile in CycleClassNames
+	// order; nil unless SystemConfig.Profile was set.
+	Attribution []uint64
 }
 
 // Result is a full simulation outcome.
@@ -245,6 +276,7 @@ func lower(res stats.Results) Result {
 			PrefCoverage: c.COV(),
 			PrefSent:     c.PrefSent,
 			PrefDropped:  c.PrefDropped,
+			Attribution:  c.Attribution,
 		})
 	}
 	return out
