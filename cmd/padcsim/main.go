@@ -23,6 +23,15 @@
 // metrics at /metrics (plus net/http/pprof) while the simulation runs.
 //
 //	padcsim -bench swim,art -profile -http :8080 -spans spans.jsonl
+//
+// Sweeps: -sweep runs a declarative JSON sweep spec (a cartesian grid of
+// policy/prefetcher/threshold/workload axes, see EXPERIMENTS.md) on a
+// bounded worker pool, -jobs sizes the pool (default GOMAXPROCS; it also
+// governs the -exp runners), -verify runs the accounting-invariant checks
+// on every job, and -sweep-csv/-sweep-json write the merged artifacts,
+// which are byte-identical for any -jobs value.
+//
+//	padcsim -sweep spec.json -jobs 8 -verify -sweep-csv out.csv
 package main
 
 import (
@@ -61,8 +70,17 @@ func main() {
 		spansOut     = flag.String("spans", "", "write sampled request-lifecycle spans as JSONL to this file")
 		breakdownOut = flag.String("breakdown", "", "write the per-core latency decomposition as CSV to this file")
 		httpAddr     = flag.String("http", "", "serve Prometheus metrics at /metrics and net/http/pprof on this address (e.g. :8080)")
+
+		sweepSpec = flag.String("sweep", "", "run the JSON sweep spec in this file on the worker pool")
+		jobs      = flag.Int("jobs", 0, "worker-pool size for -sweep and -exp (0 = GOMAXPROCS)")
+		verify    = flag.Bool("verify", false, "with -sweep: check accounting invariants on every job")
+		sweepCSV  = flag.String("sweep-csv", "", "with -sweep: write the merged jobs as CSV to this file")
+		sweepJSON = flag.String("sweep-json", "", "with -sweep: write the merged sweep as JSON to this file")
 	)
 	flag.Parse()
+	if *jobs > 0 {
+		padc.SetJobs(*jobs)
+	}
 
 	switch {
 	case *list:
@@ -73,6 +91,10 @@ func main() {
 		fmt.Println("experiments:")
 		for _, id := range padc.ExperimentIDs() {
 			fmt.Printf("  %s\n", id)
+		}
+	case *sweepSpec != "":
+		if err := runSweep(*sweepSpec, *verify, *sweepCSV, *sweepJSON); err != nil {
+			fatal(err)
 		}
 	case *expID == "all":
 		for _, id := range padc.ExperimentIDs() {
@@ -148,6 +170,45 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
+}
+
+// runSweep executes the JSON sweep spec at path on the worker pool,
+// prints the merged table plus wall-clock stats, and writes the optional
+// CSV/JSON artifacts. A progress line tracks completion on stderr.
+func runSweep(path string, verify bool, csvOut, jsonOut string) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	spec, err := padc.ParseSweepSpec(data)
+	if err != nil {
+		return err
+	}
+	opts := padc.SweepOptions{
+		Verify: verify,
+		Progress: func(done, total int, _ padc.SweepJob) {
+			fmt.Fprintf(os.Stderr, "\rpadcsim: sweep %d/%d jobs", done, total)
+			if done == total {
+				fmt.Fprintln(os.Stderr)
+			}
+		},
+	}
+	res, err := padc.Sweep(spec, opts)
+	if err != nil {
+		return err
+	}
+	fmt.Print(padc.RenderSweep(res))
+	fmt.Printf("%s\n", res.Stats)
+	if err := writeFile(csvOut, func(f *os.File) error { return res.WriteCSV(f) }); err != nil {
+		return err
+	}
+	if err := writeFile(jsonOut, func(f *os.File) error { return res.WriteJSON(f) }); err != nil {
+		return err
+	}
+	if n := res.Failed(); n > 0 {
+		return fmt.Errorf("%d of %d sweep jobs failed (see the status column)", n, len(res.Jobs))
+	}
+	return nil
 }
 
 func applyPolicy(cfg *padc.SystemConfig, s string) error {

@@ -1,23 +1,50 @@
-// Sweep regenerates a miniature of the paper's Figure 6 — single-core
-// normalized IPC of every scheduling policy across a benchmark spread —
-// directly through the experiment API, then prints the PADC hardware-cost
-// table (Tables 1–2).
+// Sweep demonstrates the parallel sweep engine: it declares a cartesian
+// grid of scheduling policies × workload mixes (the shape of every PADC
+// result in the paper), runs it on a bounded worker pool with the
+// accounting-invariant checks enabled, and prints the merged table plus
+// the wall-clock stats. The merged output is deterministic — the same
+// spec yields byte-identical CSV/JSON for any worker count — so sweep
+// artifacts are diffable across machines.
+//
+// The same spec can be run from the CLI: write it as JSON and invoke
+// `padcsim -sweep spec.json -jobs 8 -verify -sweep-csv out.csv`.
 package main
 
 import (
 	"fmt"
 	"log"
+	"os"
+	"runtime"
 
 	"padc"
 )
 
 func main() {
-	for _, id := range []string{"fig6", "tab1"} {
-		out, err := padc.Experiment(id, false)
-		if err != nil {
-			log.Fatal(err)
-		}
-		fmt.Print(out)
+	spec := padc.SweepSpec{
+		Name:     "policies-vs-mixes",
+		Seed:     42,
+		Cores:    2,
+		Insts:    60_000,
+		Policies: []string{"demand-first", "equal", "aps", "padc"},
+		Workloads: [][]string{
+			{"swim", "art"}, // friendly vs. unfriendly
+		},
+		Mixes: 3, // plus three random 2-core draws
 	}
-	fmt.Println("Run `padcsim -exp all -full` for every figure and table at paper scale.")
+	res, err := padc.Sweep(spec, padc.SweepOptions{
+		Workers: runtime.GOMAXPROCS(0),
+		Verify:  true, // every job also checks the accounting invariants
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(padc.RenderSweep(res))
+	fmt.Println(res.Stats)
+
+	// The merged artifacts are deterministic: re-running with -jobs=1
+	// produces the same bytes.
+	if err := res.WriteCSV(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nRun `padcsim -exp all -full` for every paper figure and table.")
 }

@@ -5,6 +5,7 @@ import (
 	"strings"
 
 	"padc/internal/exp"
+	"padc/internal/runner"
 )
 
 // experimentRegistry maps experiment ids (the paper's figure/table
@@ -57,7 +58,7 @@ func ExperimentIDs() []string { return sortedKeys(experimentRegistry) }
 // rendered as aligned text. full selects the paper-scale workload counts
 // (slow); otherwise a quick scale is used.
 func Experiment(id string, full bool) (string, error) {
-	runner, ok := experimentRegistry[id]
+	run, ok := experimentRegistry[id]
 	if !ok {
 		return "", fmt.Errorf("padc: unknown experiment %q (known: %s)", id, strings.Join(ExperimentIDs(), ", "))
 	}
@@ -66,9 +67,46 @@ func Experiment(id string, full bool) (string, error) {
 		sc = exp.Full()
 	}
 	var b strings.Builder
-	for _, t := range runner(sc) {
+	for _, t := range run(sc) {
 		b.WriteString(t.String())
 		b.WriteByte('\n')
 	}
 	return b.String(), nil
 }
+
+// SweepSpec re-exports the declarative sweep description the parallel
+// sweep engine expands (see internal/runner).
+type SweepSpec = runner.Spec
+
+// SweepOptions re-exports the engine's execution options (worker count,
+// invariant verification, progress callback).
+type SweepOptions = runner.Options
+
+// SweepResult re-exports the merged, deterministic sweep outcome with its
+// WriteCSV / WriteJSON exporters and wall-clock Stats.
+type SweepResult = runner.SweepResult
+
+// SweepJob re-exports one merged job row of a sweep.
+type SweepJob = runner.JobResult
+
+// ParseSweepSpec decodes and validates a JSON sweep spec.
+func ParseSweepSpec(data []byte) (SweepSpec, error) { return runner.ParseSpec(data) }
+
+// Sweep expands the spec into its cartesian job grid and runs it on a
+// bounded worker pool. The merged result is deterministic: the same spec
+// produces byte-identical WriteCSV/WriteJSON output for any worker count.
+func Sweep(spec SweepSpec, opts SweepOptions) (*SweepResult, error) {
+	return runner.Run(spec, opts)
+}
+
+// RenderSweep renders the merged sweep as an aligned-text table (the same
+// renderer the paper experiments use).
+func RenderSweep(r *SweepResult) string {
+	header, rows := r.TableData()
+	t := &exp.Table{Title: "sweep: " + r.Spec.Name, Header: header, Rows: rows}
+	return t.String()
+}
+
+// SetJobs bounds the process-wide worker pool used by Sweep and by the
+// experiment runners; n <= 0 restores the GOMAXPROCS default.
+func SetJobs(n int) { runner.SetDefaultWorkers(n) }

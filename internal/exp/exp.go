@@ -7,13 +7,13 @@ package exp
 
 import (
 	"fmt"
-	"runtime"
 	"sort"
 	"strings"
 	"sync"
 
 	"padc/internal/core"
 	"padc/internal/memctrl"
+	"padc/internal/runner"
 	"padc/internal/sim"
 	"padc/internal/stats"
 	"padc/internal/telemetry"
@@ -199,35 +199,9 @@ func runOne(cfg sim.Config) stats.Results {
 	return res
 }
 
-// parallel runs n jobs across the machine's cores.
-func parallel(n int, job func(i int)) {
-	workers := runtime.GOMAXPROCS(0)
-	if workers > n {
-		workers = n
-	}
-	if workers <= 1 {
-		for i := 0; i < n; i++ {
-			job(i)
-		}
-		return
-	}
-	var wg sync.WaitGroup
-	next := make(chan int)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for i := range next {
-				job(i)
-			}
-		}()
-	}
-	for i := 0; i < n; i++ {
-		next <- i
-	}
-	close(next)
-	wg.Wait()
-}
+// parallel fans n jobs out on the shared worker pool (internal/runner);
+// the padcsim -jobs flag sizes it process-wide.
+func parallel(n int, job func(i int)) { runner.Parallel(n, job) }
 
 // AloneIPC computes each benchmark's IPC when running alone on the
 // ncores-provisioned system with the demand-first policy (the paper's

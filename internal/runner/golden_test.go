@@ -1,0 +1,75 @@
+package runner
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "regenerate golden sweep artifacts")
+
+// goldenSpec is the paper-shaped comparison: FR-FCFS (demand-pref-equal)
+// vs. APS vs. APS+APD (full PADC) on two fixed synthetic workload mixes —
+// a prefetch-friendly one (swim+libquantum streams) and an unfriendly one
+// (art+milc pointer/random traffic). The golden CSV pins every merged
+// metric; any behavioral drift in the scheduler, prefetchers, or trace
+// generators fails this test until the change is reviewed and the file
+// regenerated with `go test ./internal/runner -run Golden -update`.
+func goldenSpec() Spec {
+	return Spec{
+		Name:     "golden-frfcfs-aps-padc",
+		Seed:     2008, // MICRO 2008
+		Cores:    2,
+		Insts:    12_000,
+		Policies: []string{"equal", "aps", "padc"},
+		Workloads: [][]string{
+			{"swim", "libquantum"},
+			{"art", "milc"},
+		},
+	}
+}
+
+func TestGoldenPolicyComparison(t *testing.T) {
+	res, err := Run(goldenSpec(), Options{Workers: 2, Verify: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := res.Failed(); n > 0 {
+		t.Fatalf("%d golden jobs failed", n)
+	}
+
+	var csv, js bytes.Buffer
+	if err := res.WriteCSV(&csv); err != nil {
+		t.Fatal(err)
+	}
+	if err := res.WriteJSON(&js); err != nil {
+		t.Fatal(err)
+	}
+	compareGolden(t, "sweep_policies.csv", csv.Bytes())
+	compareGolden(t, "sweep_policies.json", js.Bytes())
+}
+
+func compareGolden(t *testing.T, name string, got []byte) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("updated %s (%d bytes)", path, len(got))
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (run with -update to generate): %v", err)
+	}
+	if !bytes.Equal(want, got) {
+		t.Errorf("%s drifted from golden artifact:\n%s\nrerun with -update if the change is intentional",
+			name, firstDiff(string(want), string(got)))
+	}
+}

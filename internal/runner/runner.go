@@ -1,0 +1,342 @@
+package runner
+
+import (
+	"fmt"
+	"runtime"
+	"runtime/debug"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"padc/internal/sim"
+	"padc/internal/stats"
+	"padc/internal/telemetry/lifecycle"
+)
+
+// defaultWorkers is the process-wide pool size used when Options.Workers
+// is unset; 0 means GOMAXPROCS. The padcsim -jobs flag sets it once at
+// startup, but it is atomic so tests can flip it safely.
+var defaultWorkers atomic.Int64
+
+// SetDefaultWorkers sets the pool size Parallel and Run fall back to when
+// no explicit worker count is given; n <= 0 restores GOMAXPROCS.
+func SetDefaultWorkers(n int) {
+	if n < 0 {
+		n = 0
+	}
+	defaultWorkers.Store(int64(n))
+}
+
+// DefaultWorkers returns the current fallback pool size.
+func DefaultWorkers() int {
+	if n := int(defaultWorkers.Load()); n > 0 {
+		return n
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// Parallel runs jobs 0..n-1 on the default worker pool. It is the
+// low-level fan-out primitive the experiment runners use; unlike Run it
+// does not recover panics (experiment configs are statically correct, so
+// a panic there is a programming error that should fail loudly).
+func Parallel(n int, job func(i int)) {
+	workers := DefaultWorkers()
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			job(i)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				job(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+}
+
+// Progress observes sweep execution: done jobs so far (including failed),
+// the total, and the job that just finished. Called from worker
+// goroutines under a lock, so implementations need no synchronization.
+type Progress func(done, total int, r JobResult)
+
+// Options tunes one Run call.
+type Options struct {
+	// Workers bounds the pool; <= 0 uses DefaultWorkers().
+	Workers int
+	// Verify runs the invariant checks (profiler attribution identity,
+	// prefetch conservation, span-latency decomposition) on every job and
+	// records violations in JobResult.Err.
+	Verify bool
+	// Progress, when non-nil, is called after each job completes.
+	Progress Progress
+}
+
+// JobResult is one job's merged row. Every field except the unexported
+// wall-clock measurement is a deterministic function of the job's
+// configuration, so the exported artifacts are byte-identical across
+// worker counts.
+type JobResult struct {
+	Index      int      `json:"index"`
+	Key        string   `json:"key"`
+	Seed       uint64   `json:"seed"`
+	Policy     string   `json:"policy"`
+	Prefetcher string   `json:"prefetcher"`
+	Promotion  float64  `json:"promotion,omitempty"`
+	Drop       uint64   `json:"drop,omitempty"`
+	Mix        string   `json:"mix"`
+	Workloads  []string `json:"workloads"`
+
+	// Err is non-empty when the job failed (simulator error, invariant
+	// violation, or recovered panic); the metric fields are then zero.
+	Err string `json:"err,omitempty"`
+
+	Cycles     uint64    `json:"cycles"`
+	IPC        []float64 `json:"ipc"` // per core
+	Throughput float64   `json:"throughput"`
+	WS         float64   `json:"-"` // reserved: needs alone baselines
+
+	BusDemand  uint64  `json:"bus_demand"`
+	BusUseful  uint64  `json:"bus_useful"`
+	BusUseless uint64  `json:"bus_useless"`
+	Serviced   uint64  `json:"serviced"`
+	RowHitRate float64 `json:"row_hit_rate"`
+	RBHU       float64 `json:"rbhu"`
+
+	PrefSent    uint64 `json:"pref_sent"`
+	PrefUsed    uint64 `json:"pref_used"`
+	PrefDropped uint64 `json:"pref_dropped"`
+
+	// Telemetry is the per-job roll-up of headline simulator aggregates
+	// beyond the fixed columns (buffer rejects, per-core MPKI/accuracy…),
+	// keyed by metric name so new metrics extend the JSON without schema
+	// churn.
+	Telemetry map[string]float64 `json:"telemetry,omitempty"`
+
+	wall time.Duration // measured latency; never serialized
+}
+
+// RunStats reports the sweep's wall-clock behavior. It is intentionally
+// not part of the deterministic artifacts.
+type RunStats struct {
+	Workers int
+	Jobs    int
+	Failed  int
+	Wall    time.Duration
+	JobMin  time.Duration
+	JobMax  time.Duration
+	JobMean time.Duration
+	// JobTotal sums the per-job latencies. On an unloaded machine with
+	// enough cores it approximates serial execution time; when workers
+	// outnumber cores the interleaving inflates individual latencies, so
+	// read it as an upper bound on the serialized cost.
+	JobTotal time.Duration
+}
+
+// String renders the one-line wall-clock summary the CLI prints.
+func (s RunStats) String() string {
+	return fmt.Sprintf("%d jobs (%d failed) on %d workers in %v; job latency min/mean/max %v/%v/%v, summed %v",
+		s.Jobs, s.Failed, s.Workers, s.Wall.Round(time.Millisecond),
+		s.JobMin.Round(time.Millisecond), s.JobMean.Round(time.Millisecond),
+		s.JobMax.Round(time.Millisecond), s.JobTotal.Round(time.Millisecond))
+}
+
+// SweepResult is the merged outcome of one sweep.
+type SweepResult struct {
+	Spec Spec        `json:"spec"`
+	Jobs []JobResult `json:"jobs"` // sorted by Key (ties by Index)
+	// Stats is execution telemetry, excluded from the deterministic
+	// CSV/JSON artifacts.
+	Stats RunStats `json:"-"`
+}
+
+// Run expands the spec and executes every job on a bounded worker pool.
+// A job that panics (or fails an invariant check with Options.Verify) is
+// recorded as a failed row rather than killing the sweep. The returned
+// jobs are merged in job-key order; the error is non-nil only for spec
+// errors, never for individual job failures.
+func Run(spec Spec, opts Options) (*SweepResult, error) {
+	jobs, err := spec.Expand()
+	if err != nil {
+		return nil, err
+	}
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = DefaultWorkers()
+	}
+	if workers > len(jobs) {
+		workers = len(jobs)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+
+	results := make([]JobResult, len(jobs))
+	start := time.Now()
+
+	var mu sync.Mutex // guards done counter + Progress callback
+	done := 0
+	runIdx := func(i int) {
+		r := runJob(jobs[i], opts.Verify)
+		results[i] = r
+		mu.Lock()
+		done++
+		if opts.Progress != nil {
+			opts.Progress(done, len(jobs), r)
+		}
+		mu.Unlock()
+	}
+
+	if workers == 1 {
+		for i := range jobs {
+			runIdx(i)
+		}
+	} else {
+		var wg sync.WaitGroup
+		next := make(chan int)
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := range next {
+					runIdx(i)
+				}
+			}()
+		}
+		for i := range jobs {
+			next <- i
+		}
+		close(next)
+		wg.Wait()
+	}
+
+	res := &SweepResult{Spec: spec, Jobs: results}
+	res.merge()
+	res.Stats = gatherStats(results, workers, time.Since(start))
+	return res, nil
+}
+
+// merge orders the job rows by their stable key (ties by index), the
+// contract that makes the exported artifacts independent of completion
+// order.
+func (r *SweepResult) merge() {
+	sort.Slice(r.Jobs, func(i, j int) bool {
+		if r.Jobs[i].Key != r.Jobs[j].Key {
+			return r.Jobs[i].Key < r.Jobs[j].Key
+		}
+		return r.Jobs[i].Index < r.Jobs[j].Index
+	})
+}
+
+// Failed returns how many jobs carry an error.
+func (r *SweepResult) Failed() int {
+	n := 0
+	for _, j := range r.Jobs {
+		if j.Err != "" {
+			n++
+		}
+	}
+	return n
+}
+
+func gatherStats(results []JobResult, workers int, wall time.Duration) RunStats {
+	st := RunStats{Workers: workers, Jobs: len(results), Wall: wall}
+	for _, r := range results {
+		if r.Err != "" {
+			st.Failed++
+		}
+		st.JobTotal += r.wall
+		if st.JobMin == 0 || r.wall < st.JobMin {
+			st.JobMin = r.wall
+		}
+		if r.wall > st.JobMax {
+			st.JobMax = r.wall
+		}
+	}
+	if len(results) > 0 {
+		st.JobMean = st.JobTotal / time.Duration(len(results))
+	}
+	return st
+}
+
+// runJob executes one job, converting panics and invariant violations
+// into a failed-row result.
+func runJob(j Job, verify bool) (out JobResult) {
+	out = JobResult{
+		Index: j.Index, Key: j.Key, Seed: j.Seed,
+		Policy: j.Policy, Prefetcher: j.Prefetcher,
+		Promotion: j.Promotion, Drop: j.Drop,
+		Mix: j.Mix, Workloads: j.Workloads,
+	}
+	start := time.Now()
+	defer func() {
+		out.wall = time.Since(start)
+		if p := recover(); p != nil {
+			out.Err = fmt.Sprintf("panic: %v\n%s", p, debug.Stack())
+		}
+	}()
+
+	cfg := j.Config
+	var lc *lifecycle.Tracer
+	if verify {
+		cfg.Profile = true
+		lc = lifecycle.New(lifecycle.Options{})
+		cfg.Lifecycle = lc
+	}
+	res, err := sim.Run(cfg)
+	if err != nil {
+		out.Err = err.Error()
+		return out
+	}
+	if verify {
+		if errs := VerifyResults(res, lc.Spans()); len(errs) > 0 {
+			out.Err = "invariant violation: " + errs[0].Error()
+			return out
+		}
+	}
+	out.fill(res)
+	return out
+}
+
+// fill lowers a simulation outcome into the row's metric fields.
+func (r *JobResult) fill(res stats.Results) {
+	r.Cycles = res.Cycles
+	r.BusDemand = res.Bus.Demand
+	r.BusUseful = res.Bus.UsefulPref
+	r.BusUseless = res.Bus.UselessPref
+	r.Serviced = res.Serviced
+	r.RowHitRate = res.RBH()
+	r.RBHU = res.RBHU()
+	tel := map[string]float64{
+		"buffer_rejects": float64(res.BufferRejects),
+		"useful_rowhits": float64(res.UsefulRowHits),
+	}
+	for i, c := range res.PerCore {
+		ipc := c.IPC()
+		r.IPC = append(r.IPC, ipc)
+		r.Throughput += ipc
+		r.PrefSent += c.PrefSent
+		r.PrefUsed += c.PrefUsed
+		r.PrefDropped += c.PrefDropped
+		pre := fmt.Sprintf("core%d/", i)
+		tel[pre+"mpki"] = c.MPKI()
+		tel[pre+"spl"] = c.SPL()
+		tel[pre+"acc"] = c.ACC()
+		tel[pre+"cov"] = c.COV()
+	}
+	r.Telemetry = tel
+}

@@ -1,0 +1,184 @@
+package runner
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestParseSpecDefaults(t *testing.T) {
+	s, err := ParseSpec([]byte(`{"mixes": 2}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := s.withDefaults()
+	if d.Cores != 4 || d.Insts != 100_000 || d.Name != "sweep" {
+		t.Fatalf("defaults not applied: %+v", d)
+	}
+	jobs, err := s.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 3 default policies × 1 prefetcher × 2 mixes.
+	if len(jobs) != 6 {
+		t.Fatalf("expanded to %d jobs, want 6", len(jobs))
+	}
+}
+
+func TestParseSpecRejects(t *testing.T) {
+	cases := map[string]string{
+		"bad JSON":           `{"mixes":`,
+		"unknown field":      `{"mixez": 2}`,
+		"unknown policy":     `{"mixes": 1, "policies": ["frfcfs-typo"]}`,
+		"unknown prefetcher": `{"mixes": 1, "prefetchers": ["ghb"]}`,
+		"unknown benchmark":  `{"workloads": [["not-a-bench"]]}`,
+		"no workloads":       `{}`,
+		"cores too high":     `{"mixes": 1, "cores": 99}`,
+		"mix too wide":       `{"cores": 2, "workloads": [["swim","art","milc"]]}`,
+		"negative mixes":     `{"mixes": -1}`,
+		"grid too large":     `{"mixes": 256, "policies": ["padc","aps","equal","demand-first","no-pref"], "prefetchers": ["stream","stride","cdc","markov"]}`,
+		"bad promotion":      `{"mixes": 1, "promotion_thresholds": [1.5]}`,
+	}
+	for name, in := range cases {
+		if _, err := ParseSpec([]byte(in)); err == nil {
+			t.Errorf("%s: spec accepted: %s", name, in)
+		}
+	}
+}
+
+// TestExpandDeterministicAndStable pins the expansion order contract:
+// indices are dense, keys unique, random mixes are a function of their
+// index (not of how many axes precede them), and per-job seeds derive
+// from the root seed.
+func TestExpandDeterministicAndStable(t *testing.T) {
+	spec := Spec{Cores: 2, Mixes: 3, Seed: 11, Policies: []string{"padc", "aps"}}
+	a, err := spec.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := spec.Expand()
+	keys := map[string]bool{}
+	for i := range a {
+		if a[i].Index != i {
+			t.Fatalf("job %d has index %d", i, a[i].Index)
+		}
+		if a[i].Key != b[i].Key || a[i].Seed != b[i].Seed {
+			t.Fatalf("expansion not deterministic at %d: %+v vs %+v", i, a[i], b[i])
+		}
+		if keys[a[i].Key] {
+			t.Fatalf("duplicate key %q", a[i].Key)
+		}
+		keys[a[i].Key] = true
+	}
+	// The same mix index yields the same workloads under a different
+	// policy axis (mixes must not depend on grid position).
+	wider := Spec{Cores: 2, Mixes: 3, Seed: 11, Policies: []string{"padc", "aps", "equal"}}
+	c, _ := wider.Expand()
+	for _, j := range c {
+		if j.Policy != "padc" {
+			continue
+		}
+		for _, k := range a {
+			if k.Policy == "padc" && k.Mix == j.Mix {
+				if strings.Join(k.Workloads, "+") != strings.Join(j.Workloads, "+") {
+					t.Fatalf("mix %s changed workloads across specs: %v vs %v", j.Mix, k.Workloads, j.Workloads)
+				}
+			}
+		}
+	}
+	// Different root seeds draw different random mixes.
+	other := Spec{Cores: 2, Mixes: 3, Seed: 12, Policies: []string{"padc", "aps"}}
+	d, _ := other.Expand()
+	same := 0
+	for i := range a {
+		if strings.Join(a[i].Workloads, "+") == strings.Join(d[i].Workloads, "+") {
+			same++
+		}
+	}
+	if same == len(a) {
+		t.Fatal("root seed does not influence random mix draws")
+	}
+}
+
+// TestThresholdAxesReachConfig checks the promotion/drop axes actually
+// land in the expanded PADC config.
+func TestThresholdAxesReachConfig(t *testing.T) {
+	spec := Spec{
+		Cores:               2,
+		Workloads:           [][]string{{"swim"}},
+		Policies:            []string{"padc"},
+		PromotionThresholds: []float64{0.5},
+		DropCycles:          []uint64{777},
+	}
+	jobs, err := spec.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(jobs) != 1 {
+		t.Fatalf("want 1 job, got %d", len(jobs))
+	}
+	cfg := jobs[0].Config
+	if cfg.PADC.PromotionThreshold != 0.5 {
+		t.Errorf("promotion threshold not applied: %v", cfg.PADC.PromotionThreshold)
+	}
+	if len(cfg.PADC.DropLadder) != 1 || cfg.PADC.DropLadder[0].Cycles != 777 {
+		t.Errorf("drop ladder not flattened: %+v", cfg.PADC.DropLadder)
+	}
+	if !strings.Contains(jobs[0].Key, "promo=0.50") || !strings.Contains(jobs[0].Key, "drop=777") {
+		t.Errorf("threshold axes missing from key %q", jobs[0].Key)
+	}
+}
+
+// FuzzSpecJSON feeds arbitrary bytes through the spec parser: parsing
+// must never panic, and any spec it accepts must expand to a bounded,
+// well-formed job list.
+func FuzzSpecJSON(f *testing.F) {
+	f.Add([]byte(`{"mixes": 2}`))
+	f.Add([]byte(`{"name":"x","seed":9,"cores":2,"insts":1000,"policies":["padc"],"workloads":[["swim","art"]]}`))
+	f.Add([]byte(`{"mixes": 1, "drop_cycles": [100, 0], "promotion_thresholds": [0.25]}`))
+	f.Add([]byte(`{"policies": ["no-pref","prefetch-first"], "prefetchers": ["markov"], "mixes": 3}`))
+	f.Add([]byte(`[]`))
+	f.Add([]byte(`{"cores": -1}`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		spec, err := ParseSpec(data)
+		if err != nil {
+			return // rejected input: fine, as long as it didn't panic
+		}
+		jobs, err := spec.Expand()
+		if err != nil {
+			t.Fatalf("validated spec failed to expand: %v", err)
+		}
+		if len(jobs) == 0 || len(jobs) > MaxJobs {
+			t.Fatalf("accepted spec expanded to %d jobs (bounds 1..%d)", len(jobs), MaxJobs)
+		}
+		seen := map[string]bool{}
+		for i, j := range jobs {
+			if j.Index != i {
+				t.Fatalf("job %d carries index %d", i, j.Index)
+			}
+			if seen[j.Key] {
+				t.Fatalf("duplicate job key %q", j.Key)
+			}
+			seen[j.Key] = true
+			if len(j.Config.Workload) == 0 {
+				t.Fatalf("job %q has no workload", j.Key)
+			}
+			if err := j.Config.Validate(); err != nil {
+				t.Fatalf("job %q expanded to invalid config: %v", j.Key, err)
+			}
+		}
+		// A spec must round-trip through JSON without changing its grid.
+		re, err := json.Marshal(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		spec2, err := ParseSpec(re)
+		if err != nil {
+			t.Fatalf("re-encoded spec rejected: %v", err)
+		}
+		jobs2, err := spec2.Expand()
+		if err != nil || len(jobs2) != len(jobs) {
+			t.Fatalf("round-tripped spec expands differently: %d vs %d (%v)", len(jobs), len(jobs2), err)
+		}
+	})
+}

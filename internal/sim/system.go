@@ -44,6 +44,8 @@ type coreCtx struct {
 	prefSent      uint64
 	prefUsed      uint64
 	prefDropped   uint64
+	prefServiced  uint64 // admitted prefetches DRAM completed (pure or promoted)
+	prefInflight  uint64 // admitted prefetches currently buffered or in service
 	intervalMiss  uint64
 	busDemand     uint64
 	busPrefPure   uint64 // serviced still-prefetch lines (usefulness pending)
@@ -399,6 +401,7 @@ func (s *System) observe(cs *coreCtx, ev prefetch.AccessEvent, now uint64) {
 		}
 		cs.mshr.Allocate(cand, true)
 		cs.prefSent++
+		cs.prefInflight++
 		s.padc.NotePrefetchSent(cs.id)
 		if cs.fdp != nil {
 			cs.fdp.CountSent()
@@ -447,6 +450,10 @@ func (s *System) complete(r *memctrl.Request, now uint64) {
 	s.serviced++
 	if r.IssueHit {
 		s.rowHits++
+	}
+	if r.WasPref {
+		cs.prefServiced++
+		cs.prefInflight--
 	}
 	svc := r.FinishAt - r.Arrival
 	if s.tel != nil {
@@ -530,6 +537,7 @@ func (s *System) dropExpired(now uint64) {
 			cs := s.cores[r.Core]
 			cs.mshr.Release(r.Line)
 			cs.prefDropped++
+			cs.prefInflight--
 			if s.lc != nil {
 				s.lc.Record(lifecycle.Span{
 					Enqueue: r.Arrival, Finish: now,
@@ -544,18 +552,20 @@ func (s *System) dropExpired(now uint64) {
 func (s *System) freeze(cs *coreCtx) {
 	cs.frozen = true
 	cs.snap = stats.CoreResult{
-		Benchmark:   cs.prof.Name,
-		Cycles:      s.cycle,
-		Retired:     cs.core.Retired,
-		Loads:       cs.core.Loads,
-		StallCycles: cs.core.StallCycles,
-		L2Demand:    cs.l2Demand,
-		L2Misses:    cs.l2Miss,
-		DemandReqs:  cs.demandReqs,
-		PrefSent:    cs.prefSent,
-		PrefUsed:    cs.prefUsed,
-		PrefDropped: cs.prefDropped,
-		Attribution: cs.core.AccountSnapshot(),
+		Benchmark:    cs.prof.Name,
+		Cycles:       s.cycle,
+		Retired:      cs.core.Retired,
+		Loads:        cs.core.Loads,
+		StallCycles:  cs.core.StallCycles,
+		L2Demand:     cs.l2Demand,
+		L2Misses:     cs.l2Miss,
+		DemandReqs:   cs.demandReqs,
+		PrefSent:     cs.prefSent,
+		PrefUsed:     cs.prefUsed,
+		PrefDropped:  cs.prefDropped,
+		PrefServiced: cs.prefServiced,
+		PrefInflight: cs.prefInflight,
+		Attribution:  cs.core.AccountSnapshot(),
 	}
 	cs.snapBusDemand = cs.busDemand
 	cs.snapBusPure = cs.busPrefPure

@@ -23,6 +23,13 @@ type CoreResult struct {
 	PrefUsed    uint64 // useful prefetches (promoted or hit in cache)
 	PrefDropped uint64
 
+	// Prefetch-conservation accounting: every admitted prefetch is either
+	// serviced by DRAM, dropped by APD, or still buffered/in flight when the
+	// core froze, so PrefSent == PrefServiced + PrefDropped + PrefInflight
+	// always holds (the runner's invariant checks assert it per job).
+	PrefServiced uint64 // admitted prefetches DRAM completed (promoted or pure)
+	PrefInflight uint64 // admitted prefetches still outstanding at freeze
+
 	// Attribution holds the cycle-accounting profile in cpu.CycleClass
 	// order (retire, demand-miss, mshr-full, compute, idle); nil unless
 	// the run enabled profiling. The entries sum to Cycles.

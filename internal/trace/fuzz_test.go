@@ -1,0 +1,105 @@
+package trace
+
+import "testing"
+
+// FuzzPatternParams drives every pattern type across its full parameter
+// space — including the zero values a hand-built or spec-derived config
+// can produce — asserting the generators are total (no panics) and their
+// output stays inside the documented bounds.
+func FuzzPatternParams(f *testing.F) {
+	f.Add(uint64(1), uint64(4), uint64(16), uint64(1024), uint64(1), uint64(3), uint64(2), uint64(5))
+	f.Add(uint64(0), uint64(0), uint64(0), uint64(0), uint64(0), uint64(0), uint64(0), uint64(0))
+	f.Add(^uint64(0), ^uint64(0), ^uint64(0), ^uint64(0), ^uint64(0), ^uint64(0), ^uint64(0), ^uint64(0))
+	f.Add(uint64(99), uint64(1), uint64(1), uint64(1), uint64(7), uint64(1), uint64(1), uint64(1<<40))
+
+	f.Fuzz(func(t *testing.T, seed, streams, slen, ws, stride, memEvery, repeat, idx uint64) {
+		wsC := ws
+		if wsC == 0 {
+			wsC = 1
+		}
+		patterns := []Pattern{
+			StreamPattern{Seed: seed, Streams: streams, StreamLen: slen, WSLines: ws, StrideLn: stride},
+			RandomPattern{Seed: seed, WSLines: ws},
+			RandomPattern{Seed: seed, WSLines: ws, Dep: true},
+			LoopPattern{Seed: seed, Len: slen, WSLines: ws},
+			ShuffledLoopPattern{Seed: seed, Len: slen, WSLines: ws},
+			PhasedPattern{
+				A:    StreamPattern{Seed: seed, Streams: streams, StreamLen: slen, WSLines: ws},
+				B:    RandomPattern{Seed: seed ^ 1, WSLines: ws},
+				ALen: streams, BLen: slen,
+			},
+			MixPattern{
+				Seed: seed,
+				A:    RandomPattern{Seed: seed, WSLines: ws},
+				B:    ShuffledLoopPattern{Seed: seed ^ 2, Len: slen, WSLines: ws},
+				NumA: streams, Den: slen,
+			},
+		}
+		for _, p := range patterns {
+			op := p.MemOp(idx) // must not panic for any parameters
+			if bound := boundFor(p, wsC, slen); bound != 0 && op.Line >= bound {
+				t.Fatalf("%s: line %d outside bound %d (params ws=%d slen=%d)", p.Name(), op.Line, bound, ws, slen)
+			}
+			if p.Name() == "" {
+				t.Fatalf("pattern has empty name: %#v", p)
+			}
+		}
+
+		// The full generator must be total too, and only emit memory ops on
+		// the MemEvery grid.
+		g := Gen{Pattern: patterns[0], MemEvery: memEvery, Repeat: repeat}
+		inst := g.At(idx)
+		if memEvery == 0 && inst.Mem {
+			t.Fatal("MemEvery=0 generated a memory op")
+		}
+		if memEvery != 0 && idx%memEvery != 0 && inst.Mem {
+			t.Fatalf("memory op off the MemEvery=%d grid at index %d", memEvery, idx)
+		}
+		if inst.Mem && inst.Line >= wsC {
+			t.Fatalf("generator line %d outside working set %d", inst.Line, wsC)
+		}
+	})
+}
+
+// boundFor returns the exclusive output bound of a pattern: every
+// generator stays inside its (clamped) working set except LoopPattern,
+// whose seeded base offset adds up to Len. Returns 0 (meaning "skip the
+// check") when ws+len overflows uint64 and no meaningful bound exists.
+func boundFor(p Pattern, wsC, slen uint64) uint64 {
+	if _, ok := p.(LoopPattern); ok {
+		lenC := slen
+		if lenC == 0 {
+			lenC = 1
+		}
+		if wsC+lenC < wsC {
+			return 0
+		}
+		return wsC + lenC
+	}
+	return wsC
+}
+
+// TestPatternsTotalOnZeroValues pins the clamp behavior outside fuzzing,
+// so `go test` alone (no -fuzz) regression-checks the zero-value paths.
+func TestPatternsTotalOnZeroValues(t *testing.T) {
+	zero := []Pattern{
+		StreamPattern{},
+		RandomPattern{},
+		LoopPattern{},
+		ShuffledLoopPattern{},
+		PhasedPattern{A: StreamPattern{}, B: RandomPattern{}},
+		MixPattern{A: StreamPattern{}, B: RandomPattern{}},
+	}
+	for _, p := range zero {
+		for _, m := range []uint64{0, 1, 2, 1 << 20, ^uint64(0)} {
+			op := p.MemOp(m)
+			if op.Line > 1 {
+				t.Errorf("%s: zero-valued pattern emitted line %d", p.Name(), op.Line)
+			}
+		}
+	}
+	g := Gen{Pattern: StreamPattern{}}
+	if inst := g.At(42); inst.Mem {
+		t.Error("Gen with MemEvery=0 emitted a memory op")
+	}
+}

@@ -90,14 +90,19 @@ type StreamPattern struct {
 // Name implements Pattern.
 func (p StreamPattern) Name() string { return "stream" }
 
-// MemOp implements Pattern.
+// MemOp implements Pattern. Zero-valued knobs clamp to 1 so the generator
+// is total over its parameter space (a hand-built or fuzzed pattern can
+// never panic, it just degenerates to a single stream/line).
 func (p StreamPattern) MemOp(m uint64) MemOp {
-	s := m % p.Streams
-	k := m / p.Streams
-	region := k / p.StreamLen
-	off := (k % p.StreamLen) * max64(1, p.StrideLn)
-	base := mix64(p.Seed, s<<32|region) % p.WSLines
-	return MemOp{Line: (base + off) % p.WSLines, PC: p.Seed<<8 | s}
+	streams := max64(1, p.Streams)
+	slen := max64(1, p.StreamLen)
+	ws := max64(1, p.WSLines)
+	s := m % streams
+	k := m / streams
+	region := k / slen
+	off := (k % slen) * max64(1, p.StrideLn)
+	base := mix64(p.Seed, s<<32|region) % ws
+	return MemOp{Line: (base + off) % ws, PC: p.Seed<<8 | s}
 }
 
 // RandomPattern touches uniformly random lines in a working set; with a
@@ -117,9 +122,9 @@ func (p RandomPattern) Name() string {
 	return "random"
 }
 
-// MemOp implements Pattern.
+// MemOp implements Pattern. A zero working set clamps to one line.
 func (p RandomPattern) MemOp(m uint64) MemOp {
-	return MemOp{Line: mix64(p.Seed, m) % p.WSLines, PC: p.Seed << 8, Dep: p.Dep}
+	return MemOp{Line: mix64(p.Seed, m) % max64(1, p.WSLines), PC: p.Seed << 8, Dep: p.Dep}
 }
 
 // LoopPattern walks Len consecutive lines over and over — a small, hot
@@ -134,9 +139,9 @@ type LoopPattern struct {
 // Name implements Pattern.
 func (p LoopPattern) Name() string { return "loop" }
 
-// MemOp implements Pattern.
+// MemOp implements Pattern. Zero-valued knobs clamp to 1.
 func (p LoopPattern) MemOp(m uint64) MemOp {
-	return MemOp{Line: mix64(p.Seed, 0)%p.WSLines + m%p.Len, PC: p.Seed << 8}
+	return MemOp{Line: mix64(p.Seed, 0)%max64(1, p.WSLines) + m%max64(1, p.Len), PC: p.Seed << 8}
 }
 
 // ShuffledLoopPattern repeats a fixed pseudo-random sequence of Len lines —
@@ -151,9 +156,9 @@ type ShuffledLoopPattern struct {
 // Name implements Pattern.
 func (p ShuffledLoopPattern) Name() string { return "shuffled-loop" }
 
-// MemOp implements Pattern.
+// MemOp implements Pattern. Zero-valued knobs clamp to 1.
 func (p ShuffledLoopPattern) MemOp(m uint64) MemOp {
-	return MemOp{Line: mix64(p.Seed, m%p.Len) % p.WSLines, PC: p.Seed << 8}
+	return MemOp{Line: mix64(p.Seed, m%max64(1, p.Len)) % max64(1, p.WSLines), PC: p.Seed << 8}
 }
 
 // PhasedPattern alternates between two sub-patterns — ALen memory ops of
@@ -167,9 +172,13 @@ type PhasedPattern struct {
 // Name implements Pattern.
 func (p PhasedPattern) Name() string { return "phased(" + p.A.Name() + "," + p.B.Name() + ")" }
 
-// MemOp implements Pattern.
+// MemOp implements Pattern. A zero-length period (ALen+BLen == 0) clamps
+// to a pure-A pattern rather than dividing by zero.
 func (p PhasedPattern) MemOp(m uint64) MemOp {
 	period := p.ALen + p.BLen
+	if period == 0 {
+		return p.A.MemOp(m)
+	}
 	cycle, off := m/period, m%period
 	if off < p.ALen {
 		return p.A.MemOp(cycle*p.ALen + off)
@@ -188,9 +197,11 @@ type MixPattern struct {
 // Name implements Pattern.
 func (p MixPattern) Name() string { return "mix(" + p.A.Name() + "," + p.B.Name() + ")" }
 
-// MemOp implements Pattern.
+// MemOp implements Pattern. A zero denominator clamps to 1 (all draws
+// compare against NumA, so Den == 0 degenerates to pure-B for NumA == 0
+// and pure-A otherwise).
 func (p MixPattern) MemOp(m uint64) MemOp {
-	if mix64(p.Seed^0xabcd, m)%p.Den < p.NumA {
+	if mix64(p.Seed^0xabcd, m)%max64(1, p.Den) < p.NumA {
 		return p.A.MemOp(m)
 	}
 	return p.B.MemOp(m)
