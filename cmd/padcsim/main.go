@@ -55,7 +55,7 @@ func main() {
 		expID   = flag.String("exp", "", "experiment id (fig1, fig16, tab8, ...) or 'all'")
 		full    = flag.Bool("full", false, "paper-scale workload counts (slow)")
 		bench   = flag.String("bench", "", "comma-separated benchmark names, one per core")
-		policy  = flag.String("policy", "padc", "no-pref|demand-first|equal|prefetch-first|aps|padc|padc-rank")
+		policy  = flag.String("policy", "padc", "no-pref|demand-first|equal|prefetch-first|aps|padc|padc-rank, or rules:<list> (e.g. rules:critical,rowhit,urgent,fcfs)")
 		pf      = flag.String("prefetcher", "stream", "none|stream|stride|cdc|markov")
 		insts   = flag.Uint64("insts", 0, "instructions per core (0 = default)")
 		cores   = flag.Int("cores", 0, "cores to provision (0 = number of benchmarks)")
@@ -228,6 +228,13 @@ func applyPolicy(cfg *padc.SystemConfig, s string) error {
 	case "padc-rank":
 		cfg.Policy, cfg.APD = padc.APSRank, true
 	default:
+		// Explicit rule stacks: -policy rules:critical,rowhit,urgent,fcfs
+		// schedules with exactly that priority order (APD off, like the
+		// other scheduling-only policies).
+		if strings.HasPrefix(s, "rules:") {
+			cfg.Rules, cfg.APD = s, false
+			return nil
+		}
 		return fmt.Errorf("unknown policy %q", s)
 	}
 	return nil

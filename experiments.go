@@ -46,9 +46,10 @@ var experimentRegistry = map[string]func(sc exp.Scale) []*exp.Table{
 	"fig32": func(sc exp.Scale) []*exp.Table { return []*exp.Table{exp.Fig32(sc)} },
 	"tab1":  func(exp.Scale) []*exp.Table { return []*exp.Table{exp.Table1()} },
 	// Ablations beyond the paper: design-choice studies DESIGN.md calls out.
-	"abl-drop": func(sc exp.Scale) []*exp.Table { return []*exp.Table{exp.AblationDropThreshold(sc)} },
-	"abl-prom": func(sc exp.Scale) []*exp.Table { return []*exp.Table{exp.AblationPromotionThreshold(sc)} },
-	"abl-map":  func(sc exp.Scale) []*exp.Table { return []*exp.Table{exp.AblationAddressMapping(sc)} },
+	"abl-drop":  func(sc exp.Scale) []*exp.Table { return []*exp.Table{exp.AblationDropThreshold(sc)} },
+	"abl-prom":  func(sc exp.Scale) []*exp.Table { return []*exp.Table{exp.AblationPromotionThreshold(sc)} },
+	"abl-map":   func(sc exp.Scale) []*exp.Table { return []*exp.Table{exp.AblationAddressMapping(sc)} },
+	"abl-rules": func(sc exp.Scale) []*exp.Table { return []*exp.Table{exp.AblationRuleOrder(sc)} },
 }
 
 // ExperimentIDs lists every reproducible figure/table id.

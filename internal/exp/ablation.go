@@ -98,6 +98,26 @@ func AblationPromotionThreshold(sc Scale) *Table {
 		"Ablation: APS promotion threshold sweep (4-core)", sc, variants, points)
 }
 
+// AblationRuleOrder ablates the scheduler's priority-rule ordering itself
+// (the paper's actual contribution, §5–6): the same rule vocabulary is
+// recomposed into different stacks through the sched kernel — APS with
+// rules reordered or removed, the §6.5 ranking appended, and plain
+// FR-FCFS as the floor. The APS order (criticality above row locality,
+// urgency below it) should dominate its permutations.
+func AblationRuleOrder(sc Scale) *Table {
+	variants := []Variant{
+		RuleStack("rules:rowhit,fcfs"),                      // FR-FCFS floor
+		RuleStack("rules:critical,rowhit,urgent,fcfs"),      // APS (§5.1 order)
+		RuleStack("rules:rowhit,critical,urgent,fcfs"),      // locality above criticality
+		RuleStack("rules:critical,urgent,rowhit,fcfs"),      // urgency above locality
+		RuleStack("rules:critical,rowhit,fcfs"),             // APS minus urgency
+		RuleStack("rules:critical,rowhit,urgent,rank,fcfs"), // APS + §6.5 ranking
+	}
+	points := []sweepPoint{{Label: "WS", Mutate: nil}}
+	return sweepVariantsOverMixesOn(Mixes(4, sc.Mixes4),
+		"Ablation: scheduler priority-rule order (4-core WS)", sc, variants, points)
+}
+
 // AblationAddressMapping compares the default row-interleaved bank mapping
 // against permutation-based mapping and a single-bank strawman, isolating
 // how much of each policy's behavior depends on bank-level parallelism.

@@ -175,6 +175,16 @@ func PADCRank() Variant {
 	return Variant{"PADC-rank", func(c *sim.Config) { c.Policy = memctrl.APSRank }}
 }
 
+// RuleStack schedules with an explicit priority-rule stack from the
+// sched kernel (e.g. "rules:critical,rowhit,urgent,fcfs"). APD is off so
+// the run isolates the priority order under study.
+func RuleStack(rules string) Variant {
+	return Variant{rules, func(c *sim.Config) {
+		c.Rules = rules
+		c.PADC.EnableAPD = false
+	}}
+}
+
 // StandardVariants returns the five configurations most figures compare.
 func StandardVariants() []Variant {
 	return []Variant{NoPref(), DemandFirst(), DemandPrefEqual(), APSOnly(), PADC()}

@@ -3,16 +3,30 @@
 // (plain FR-FCFS), demand-first and prefetch-first policies, and the
 // adaptive APS / APS+ranking policies that, together with adaptive
 // prefetch dropping, form the Prefetch-Aware DRAM Controller.
+//
+// Scheduling itself is delegated to the composable rule kernel in
+// internal/memctrl/sched: every policy — the legacy enum values and
+// arbitrary "rules:" stacks — is an ordered chain of small priority rules
+// arbitrating per-bank request buckets. The controller maintains the
+// rules' inputs incrementally (per-(bank,row) waiting counts for the
+// closed-row keep-open decision, per-core outstanding-request counts for
+// the §6.5 shortest-job ranking), so a scheduling decision costs a scan
+// of the ready banks' buckets rather than the whole buffer, and the hot
+// path allocates nothing in steady state.
 package memctrl
 
 import (
 	"fmt"
 
 	"padc/internal/dram"
+	"padc/internal/memctrl/sched"
 	"padc/internal/telemetry"
 )
 
-// Policy selects the scheduling priority order.
+// Policy selects the scheduling priority order. The enum values are the
+// paper's named policies, kept as aliases for the rule stacks they expand
+// to (see Stack); custom orderings come in through NewStack / sim.Config's
+// Rules string instead of new enum values.
 type Policy int
 
 const (
@@ -49,6 +63,19 @@ func (p Policy) String() string {
 	default:
 		return fmt.Sprintf("Policy(%d)", int(p))
 	}
+}
+
+// Stack returns the rule stack the legacy policy name aliases.
+func (p Policy) Stack() sched.Stack { return sched.MustParse(p.String()) }
+
+// ResolveStack maps the configuration surface onto a scheduling stack:
+// rules, when non-empty, is parsed (legacy aliases or a "rules:" list) and
+// wins; otherwise the enum policy's canonical stack is used.
+func ResolveStack(p Policy, rules string) (sched.Stack, error) {
+	if rules != "" {
+		return sched.Parse(rules)
+	}
+	return p.Stack(), nil
 }
 
 // Request is one entry of the memory request buffer.
@@ -90,18 +117,56 @@ type CoreState interface {
 	UrgencyEnabled() bool
 }
 
+// rowKey indexes the per-(bank,row) waiting count.
+type rowKey struct {
+	bank int
+	row  uint64
+}
+
 // Controller is one memory controller: a bounded request buffer in front
-// of one DRAM channel, scheduling one request per DRAM cycle.
+// of one DRAM channel, scheduling one request per DRAM cycle per ready
+// bank. Waiting requests live in per-bank buckets; the scheduling indexes
+// (row waiting counts, per-core outstanding counts) are maintained
+// incrementally on enqueue/promote/issue/complete/drop.
 type Controller struct {
-	policy   Policy
+	policy   Policy // legacy label; PolicyCustom for explicit rule stacks
+	stack    sched.Stack
 	channel  *dram.Channel
 	state    CoreState
 	capacity int
 	nextSeq  uint64
 
-	queue       []*Request
-	inflight    []*Request
-	bestPerBank []int // scratch for Tick's per-bank arbitration
+	// Which Cand inputs the stack actually reads; unset inputs are
+	// neither computed per candidate nor maintained per tick.
+	useCrit, useUrgent, useRank bool
+
+	banks    [][]*Request // waiting requests bucketed by bank
+	pending  int          // total waiting requests across buckets
+	inflight []*Request
+	done     []*Request // reusable completion buffer returned by Tick
+
+	// rowWait counts waiting requests per (bank, row); entries are removed
+	// when they reach zero. It makes the closed-row keep-open decision
+	// ("is more work queued for this row?") O(1) per issue.
+	rowWait map[rowKey]int
+
+	// Per-core outstanding (waiting + in-flight) request counts by class,
+	// sized lazily to the largest core id seen. Together with the per-tick
+	// criticality flags they make the §6.5 ranking O(cores), replacing the
+	// per-tick full-buffer scan.
+	demandCnt []int
+	prefCnt   []int
+
+	// Per-tick scratch, reused across ticks to keep Tick allocation-free.
+	critFlags []bool
+	urgFlags  []bool
+	rankBuf   []int
+
+	// ruleWins counts scheduling decisions by the rule that settled them:
+	// index i is the stack's i-th rule, the last slot the implicit
+	// admission-order tiebreak. Only contested arbitrations (bucket held
+	// more than one candidate) are counted.
+	ruleWins []uint64
 
 	tel   *telemetry.Telemetry // nil unless Instrument was called
 	telID int16                // controller index in event records
@@ -113,10 +178,37 @@ type Controller struct {
 	Dropped     uint64
 }
 
-// New builds a controller over channel with the given buffer capacity.
-// state may be nil for rigid policies.
+// PolicyCustom is the Policy label reported by controllers built from an
+// explicit rule stack rather than a legacy enum value.
+const PolicyCustom Policy = -1
+
+// New builds a controller over channel with the given buffer capacity,
+// running the named legacy policy's rule stack. state may be nil for
+// rigid policies.
 func New(policy Policy, channel *dram.Channel, capacity int, state CoreState) *Controller {
-	return &Controller{policy: policy, channel: channel, capacity: capacity, state: state}
+	c := NewStack(policy.Stack(), channel, capacity, state)
+	c.policy = policy
+	return c
+}
+
+// NewStack builds a controller scheduling with an explicit rule stack
+// (sched.Parse accepts legacy aliases and "rules:" lists). state may be
+// nil when no rule in the stack consults core accuracy.
+func NewStack(stack sched.Stack, channel *dram.Channel, capacity int, state CoreState) *Controller {
+	c := &Controller{
+		policy:    PolicyCustom,
+		stack:     stack,
+		channel:   channel,
+		capacity:  capacity,
+		state:     state,
+		useCrit:   stack.Uses("critical") || stack.Uses("rank"),
+		useUrgent: stack.Uses("urgent"),
+		useRank:   stack.Uses("rank"),
+		banks:     make([][]*Request, len(channel.Banks)),
+		rowWait:   make(map[rowKey]int),
+		ruleWins:  make([]uint64, len(stack.Rules())+1),
+	}
+	return c
 }
 
 // Instrument registers this controller's (and its channel's) metrics into
@@ -135,6 +227,18 @@ func (c *Controller) Instrument(tel *telemetry.Telemetry, id int) {
 	tel.CounterFunc(pre+"/drops", func() uint64 { return c.Dropped })
 	tel.CounterFunc(pre+"/rejects_full", func() uint64 { return c.RejectsFull })
 	tel.GaugeFunc(pre+"/occupancy", func() float64 { return float64(c.Occupancy()) })
+	// Per-rule "decision won by" counters: how often each rule of the
+	// stack settled a contested arbitration.
+	for i := range c.ruleWins {
+		i := i
+		name := c.stack.DeciderName(sched.ImplicitFCFS)
+		if i < len(c.stack.Rules()) {
+			name = c.stack.DeciderName(i)
+		} else if c.stack.Uses("fcfs") {
+			continue // explicit fcfs already registered; implicit slot stays unused
+		}
+		tel.CounterFunc(fmt.Sprintf("%s/rule_wins/%s", pre, name), func() uint64 { return c.ruleWins[i] })
+	}
 
 	ch := c.channel
 	dpre := fmt.Sprintf("dram%d", id)
@@ -146,14 +250,52 @@ func (c *Controller) Instrument(tel *telemetry.Telemetry, id int) {
 	tel.CounterFunc(dpre+"/bus_busy_cycles", func() uint64 { return ch.BusBusyCycles })
 }
 
-// Policy returns the scheduling policy in force.
+// Policy returns the legacy policy label this controller was built from,
+// or PolicyCustom for explicit rule stacks.
 func (c *Controller) Policy() Policy { return c.policy }
 
+// Stack returns the scheduling rule stack in force.
+func (c *Controller) Stack() sched.Stack { return c.stack }
+
+// RuleWins reports the per-rule decision counters: for each rule name in
+// stack order (plus a trailing implicit "fcfs" when the stack lacks an
+// explicit one), how many contested arbitrations that rule settled.
+func (c *Controller) RuleWins() (names []string, wins []uint64) {
+	for i, r := range c.stack.Rules() {
+		names = append(names, r.Name())
+		wins = append(wins, c.ruleWins[i])
+	}
+	if !c.stack.Uses("fcfs") {
+		names = append(names, "fcfs")
+		wins = append(wins, c.ruleWins[len(c.ruleWins)-1])
+	}
+	return names, wins
+}
+
 // Occupancy returns how many buffer entries are in use.
-func (c *Controller) Occupancy() int { return len(c.queue) + len(c.inflight) }
+func (c *Controller) Occupancy() int { return c.pending + len(c.inflight) }
 
 // Full reports whether the request buffer has no free entry.
 func (c *Controller) Full() bool { return c.Occupancy() >= c.capacity }
+
+// noteAdmit updates the per-core outstanding counts for a request
+// entering the controller (delta +1) or leaving it (delta -1), keyed by
+// its current class — promotions move a count via MatchPrefetch instead.
+func (c *Controller) noteAdmit(r *Request, delta int) {
+	if r.Core >= len(c.demandCnt) {
+		grown := make([]int, r.Core+1)
+		copy(grown, c.demandCnt)
+		c.demandCnt = grown
+		grownP := make([]int, r.Core+1)
+		copy(grownP, c.prefCnt)
+		c.prefCnt = grownP
+	}
+	if r.Prefetch {
+		c.prefCnt[r.Core] += delta
+	} else {
+		c.demandCnt[r.Core] += delta
+	}
+}
 
 // Enqueue admits a request. It returns false (and drops the request) when
 // the buffer is full; callers treat that as a stall for demands and a
@@ -171,7 +313,11 @@ func (c *Controller) Enqueue(r *Request) bool {
 	}
 	r.seq = c.nextSeq
 	c.nextSeq++
-	c.queue = append(c.queue, r)
+	b := r.Addr.Bank
+	c.banks[b] = append(c.banks[b], r)
+	c.pending++
+	c.rowWait[rowKey{b, r.Addr.Row}]++
+	c.noteAdmit(r, +1)
 	c.Enqueued++
 	if c.tel != nil {
 		c.tel.Emit(telemetry.Event{
@@ -188,217 +334,208 @@ func (c *Controller) Enqueue(r *Request) bool {
 // counts as useful. The promotion cycle is stamped into the request so
 // lifecycle tracing can report how long the prefetch ran speculatively.
 func (c *Controller) MatchPrefetch(core int, line uint64, now uint64) *Request {
-	for _, r := range c.queue {
-		if r.Core == core && r.Line == line && r.Prefetch {
-			r.Prefetch = false
-			r.PromotedAt = now
-			return r
+	promote := func(r *Request) {
+		r.Prefetch = false
+		r.PromotedAt = now
+		// The request changes class while outstanding: move its count.
+		c.prefCnt[r.Core]--
+		c.demandCnt[r.Core]++
+	}
+	for _, bucket := range c.banks {
+		for _, r := range bucket {
+			if r.Core == core && r.Line == line && r.Prefetch {
+				promote(r)
+				return r
+			}
 		}
 	}
 	for _, r := range c.inflight {
 		if r.Core == core && r.Line == line && r.Prefetch {
-			r.Prefetch = false
-			r.PromotedAt = now
+			promote(r)
 			return r
 		}
 	}
 	return nil
 }
 
-// critical implements priority rule 1.
-func (c *Controller) critical(r *Request) bool {
-	if !r.Prefetch {
-		return true
-	}
-	return c.state != nil && c.state.PrefetchCritical(r.Core)
+// critical implements priority rule 1 for one request given its core's
+// per-tick prefetch-criticality flag.
+func critical(r *Request, coreCrit bool) bool {
+	return !r.Prefetch || coreCrit
 }
 
-// urgent implements priority rule 3: demands of cores whose prefetching is
-// inaccurate outrank other requests of equal criticality and row-hit
-// status.
-func (c *Controller) urgent(r *Request) bool {
-	if r.Prefetch || c.state == nil || !c.state.UrgencyEnabled() {
-		return false
+// refreshFlags recomputes the per-core criticality/urgency flags the
+// stack's rules read this tick. One CoreState call per core per tick
+// replaces the per-comparison calls of the old monolithic comparator.
+func (c *Controller) refreshFlags(ncores int) {
+	if n := len(c.demandCnt); n > ncores {
+		ncores = n
 	}
-	return !c.state.PrefetchCritical(r.Core)
+	if cap(c.critFlags) < ncores {
+		c.critFlags = make([]bool, ncores)
+		c.urgFlags = make([]bool, ncores)
+	}
+	c.critFlags = c.critFlags[:ncores]
+	c.urgFlags = c.urgFlags[:ncores]
+	urgencyOn := c.useUrgent && c.state != nil && c.state.UrgencyEnabled()
+	for core := 0; core < ncores; core++ {
+		crit := c.state != nil && c.state.PrefetchCritical(core)
+		c.critFlags[core] = crit
+		c.urgFlags[core] = urgencyOn && !crit
+	}
 }
 
-// better reports whether a should be scheduled before b under the policy.
-// rank holds the per-core rank values (higher = first) for APSRank.
-func (c *Controller) better(a, b *Request, aHit, bHit bool, rank []int) bool {
-	type cmp struct{ a, b bool }
-	lex := func(terms ...cmp) bool {
-		for _, t := range terms {
-			if t.a != t.b {
-				return t.a
+// refreshRanks recomputes the §6.5 shortest-job ranks from the
+// incrementally-maintained per-core outstanding counts: cores with fewer
+// critical (demand + critical-prefetch) requests rank higher.
+func (c *Controller) refreshRanks(ncores int) {
+	if n := len(c.demandCnt); n > ncores {
+		ncores = n
+	}
+	if cap(c.rankBuf) < ncores {
+		c.rankBuf = make([]int, ncores)
+	}
+	c.rankBuf = c.rankBuf[:ncores]
+	for core := 0; core < ncores; core++ {
+		n := 0
+		if core < len(c.demandCnt) {
+			n = c.demandCnt[core]
+			if c.critFlags[core] {
+				n += c.prefCnt[core]
 			}
 		}
-		return a.seq < b.seq
-	}
-	switch c.policy {
-	case DemandPrefEqual:
-		return lex(cmp{aHit, bHit})
-	case DemandFirst:
-		return lex(cmp{!a.Prefetch, !b.Prefetch}, cmp{aHit, bHit})
-	case PrefetchFirst:
-		return lex(cmp{a.Prefetch, b.Prefetch}, cmp{aHit, bHit})
-	case APS:
-		return lex(cmp{c.critical(a), c.critical(b)}, cmp{aHit, bHit}, cmp{c.urgent(a), c.urgent(b)})
-	case APSRank:
-		ra, rb := 0, 0
-		if c.critical(a) {
-			ra = rank[a.Core]
-		}
-		if c.critical(b) {
-			rb = rank[b.Core]
-		}
-		if c.critical(a) != c.critical(b) {
-			return c.critical(a)
-		}
-		if aHit != bHit {
-			return aHit
-		}
-		if ua, ub := c.urgent(a), c.urgent(b); ua != ub {
-			return ua
-		}
-		if ra != rb {
-			return ra > rb
-		}
-		return a.seq < b.seq
-	default:
-		return a.seq < b.seq
+		c.rankBuf[core] = -n // fewer outstanding critical requests => larger rank
 	}
 }
 
-// ranks computes the §6.5 shortest-job ranking: cores with fewer
-// outstanding critical requests rank higher. The returned slice maps core
-// id to a rank value where larger means schedule first.
-func (c *Controller) ranks(ncores int) []int {
-	counts := make([]int, ncores)
-	for _, r := range c.queue {
-		if c.critical(r) {
-			counts[r.Core]++
-		}
+// cand assembles the rule inputs for one waiting request.
+func (c *Controller) cand(r *Request, bank *dram.Bank) sched.Cand {
+	cd := sched.Cand{
+		Seq:  r.seq,
+		Core: r.Core,
+		Pref: r.Prefetch,
+		Hit:  bank.State(r.Addr.Row) == dram.RowHit,
 	}
-	for _, r := range c.inflight {
-		if c.critical(r) {
-			counts[r.Core]++
-		}
+	if c.useCrit {
+		cd.Critical = critical(r, c.critFlags[r.Core])
 	}
-	rank := make([]int, ncores)
-	for i, n := range counts {
-		rank[i] = -n // fewer critical requests => larger rank value
+	if c.useUrgent {
+		cd.Urgent = !r.Prefetch && c.urgFlags[r.Core]
 	}
-	return rank
+	if c.useRank {
+		cd.Rank = c.rankBuf[r.Core]
+	}
+	return cd
 }
 
 // Tick makes the cycle's scheduling decisions and returns any requests
-// whose DRAM service completed by now. Scheduling is per bank — banks
-// precharge and activate in parallel, serializing only on the shared data
-// bus — so each ready bank issues its own highest-priority request, the
-// arbitration FR-FCFS-class schedulers perform. ncores sizes the ranking
-// pass.
+// whose DRAM service completed by now; the returned slice is reused by
+// the next Tick. Scheduling is per bank — banks precharge and activate in
+// parallel, serializing only on the shared data bus — so each ready bank
+// issues its own highest-priority waiting request, the arbitration
+// FR-FCFS-class schedulers perform. Busy banks' buckets are skipped
+// entirely. ncores sizes the per-core flag and rank scratch.
 func (c *Controller) Tick(now uint64, ncores int) []*Request {
-	// Harvest completions.
-	var done []*Request
+	// Harvest completions into the reusable buffer.
+	done := c.done[:0]
 	keep := c.inflight[:0]
 	for _, r := range c.inflight {
 		if r.FinishAt <= now {
+			c.noteAdmit(r, -1) // leaves the controller
 			done = append(done, r)
 		} else {
 			keep = append(keep, r)
 		}
 	}
 	c.inflight = keep
-	if len(c.queue) == 0 {
+	c.done = done
+	if c.pending == 0 {
 		return done
 	}
 
-	var rank []int
-	if c.policy == APSRank {
-		rank = c.ranks(ncores)
+	if c.useCrit || c.useUrgent {
+		c.refreshFlags(ncores)
+	}
+	if c.useRank {
+		c.refreshRanks(ncores)
 	}
 
-	// One pass: find each ready bank's best request.
-	nbanks := len(c.channel.Banks)
-	if cap(c.bestPerBank) < nbanks {
-		c.bestPerBank = make([]int, nbanks)
-	}
-	best := c.bestPerBank[:nbanks]
-	for i := range best {
-		best[i] = -1
-	}
-	for i, r := range c.queue {
-		b := r.Addr.Bank
-		if !c.channel.BankReady(b, now) {
+	for b := range c.banks {
+		bucket := c.banks[b]
+		if len(bucket) == 0 || !c.channel.BankReady(b, now) {
 			continue
 		}
-		if best[b] < 0 {
-			best[b] = i
-			continue
-		}
-		o := c.queue[best[b]]
-		rHit := c.channel.Banks[b].State(r.Addr.Row) == dram.RowHit
-		oHit := c.channel.Banks[b].State(o.Addr.Row) == dram.RowHit
-		if c.better(r, o, rHit, oHit, rank) {
-			best[b] = i
-		}
-	}
-
-	issued := 0
-	for b := 0; b < nbanks; b++ {
-		if best[b] < 0 {
-			continue
-		}
-		r := c.queue[best[b]]
-		keepOpen := c.moreRowWork(r, best[b])
-		finish, state := c.channel.Issue(b, r.Addr.Row, now, keepOpen)
-		r.Inflight = true
-		r.FinishAt = finish
-		r.RowState = state
-		r.IssueHit = state == dram.RowHit
-		r.ServiceAt = now
-		c.inflight = append(c.inflight, r)
-		c.Serviced++
-		issued++
-		if c.tel != nil {
-			c.tel.Emit(telemetry.Event{
-				Cycle: now, Kind: telemetry.EvIssue, Pref: r.Prefetch, A: finish,
-				Core: int16(r.Core), Chan: c.telID, Bank: int16(b), Line: r.Line,
-			})
-			if state == dram.RowConflict {
-				c.tel.Emit(telemetry.Event{
-					Cycle: now, Kind: telemetry.EvRowConflict, Pref: r.Prefetch,
-					Core: int16(r.Core), Chan: c.telID, Bank: int16(b), Line: r.Line,
-				})
+		bank := &c.channel.Banks[b]
+		bestIdx := 0
+		best := c.cand(bucket[0], bank)
+		decider := -1 // uncontested unless a comparison happens
+		for i := 1; i < len(bucket); i++ {
+			cd := c.cand(bucket[i], bank)
+			better, by := c.stack.Better(cd, best)
+			if better {
+				best, bestIdx = cd, i
 			}
+			decider = by
 		}
-	}
-	if issued > 0 {
-		keepQ := c.queue[:0]
-		for _, r := range c.queue {
-			if !r.Inflight {
-				keepQ = append(keepQ, r)
+		if decider != -1 || len(bucket) > 1 {
+			if decider == sched.ImplicitFCFS {
+				decider = len(c.ruleWins) - 1
 			}
+			c.ruleWins[decider]++
 		}
-		c.queue = keepQ
+		c.issue(b, bestIdx, now)
 	}
 	return done
 }
 
-// moreRowWork reports whether another queued request targets the same bank
-// and row as r (consulted by the closed-row policy to decide whether to
-// keep the row open).
-func (c *Controller) moreRowWork(r *Request, skip int) bool {
-	for i, q := range c.queue {
-		if i == skip {
-			continue
-		}
-		if q.Addr.Bank == r.Addr.Bank && q.Addr.Row == r.Addr.Row {
-			return true
+// issue removes bucket[idx] from the waiting set and schedules it on the
+// DRAM channel, consulting the row-wait index for the closed-row
+// keep-open decision.
+func (c *Controller) issue(b, idx int, now uint64) {
+	bucket := c.banks[b]
+	r := bucket[idx]
+	last := len(bucket) - 1
+	bucket[idx] = bucket[last]
+	bucket[last] = nil
+	c.banks[b] = bucket[:last]
+	c.pending--
+
+	keepOpen := c.moreRowWork(r) // before removing r's own count
+	key := rowKey{b, r.Addr.Row}
+	if n := c.rowWait[key] - 1; n <= 0 {
+		delete(c.rowWait, key)
+	} else {
+		c.rowWait[key] = n
+	}
+
+	finish, state := c.channel.Issue(b, r.Addr.Row, now, keepOpen)
+	r.Inflight = true
+	r.FinishAt = finish
+	r.RowState = state
+	r.IssueHit = state == dram.RowHit
+	r.ServiceAt = now
+	c.inflight = append(c.inflight, r)
+	c.Serviced++
+	if c.tel != nil {
+		c.tel.Emit(telemetry.Event{
+			Cycle: now, Kind: telemetry.EvIssue, Pref: r.Prefetch, A: finish,
+			Core: int16(r.Core), Chan: c.telID, Bank: int16(b), Line: r.Line,
+		})
+		if state == dram.RowConflict {
+			c.tel.Emit(telemetry.Event{
+				Cycle: now, Kind: telemetry.EvRowConflict, Pref: r.Prefetch,
+				Core: int16(r.Core), Chan: c.telID, Bank: int16(b), Line: r.Line,
+			})
 		}
 	}
-	return false
+}
+
+// moreRowWork reports whether another waiting request targets the same
+// bank and row as r, via the incrementally-maintained row-wait index
+// (consulted by the closed-row policy to decide whether to keep the row
+// open). O(1), where the pre-index implementation scanned the buffer.
+func (c *Controller) moreRowWork(r *Request) bool {
+	return c.rowWait[rowKey{r.Addr.Bank, r.Addr.Row}] > 1
 }
 
 // DropExpired implements the buffer half of Adaptive Prefetch Dropping:
@@ -407,21 +544,36 @@ func (c *Controller) moreRowWork(r *Request, skip int) bool {
 // entries and account statistics.
 func (c *Controller) DropExpired(now uint64, threshold func(core int) uint64) []*Request {
 	var dropped []*Request
-	keep := c.queue[:0]
-	for _, r := range c.queue {
-		if r.Prefetch && r.Age(now) > threshold(r.Core) {
-			dropped = append(dropped, r)
-			if c.tel != nil {
-				c.tel.Emit(telemetry.Event{
-					Cycle: now, Kind: telemetry.EvDrop, Pref: true, A: r.Age(now),
-					Core: int16(r.Core), Chan: c.telID, Bank: int16(r.Addr.Bank), Line: r.Line,
-				})
+	for b := range c.banks {
+		bucket := c.banks[b]
+		keep := bucket[:0]
+		for _, r := range bucket {
+			if r.Prefetch && r.Age(now) > threshold(r.Core) {
+				dropped = append(dropped, r)
+				c.pending--
+				c.prefCnt[r.Core]--
+				key := rowKey{b, r.Addr.Row}
+				if n := c.rowWait[key] - 1; n <= 0 {
+					delete(c.rowWait, key)
+				} else {
+					c.rowWait[key] = n
+				}
+				if c.tel != nil {
+					c.tel.Emit(telemetry.Event{
+						Cycle: now, Kind: telemetry.EvDrop, Pref: true, A: r.Age(now),
+						Core: int16(r.Core), Chan: c.telID, Bank: int16(r.Addr.Bank), Line: r.Line,
+					})
+				}
+				continue
 			}
-			continue
+			keep = append(keep, r)
 		}
-		keep = append(keep, r)
+		// Zero the tail so dropped requests do not linger in the backing array.
+		for i := len(keep); i < len(bucket); i++ {
+			bucket[i] = nil
+		}
+		c.banks[b] = keep
 	}
-	c.queue = keep
 	c.Dropped += uint64(len(dropped))
 	return dropped
 }
@@ -430,4 +582,4 @@ func (c *Controller) DropExpired(now uint64, threshold func(core int) uint64) []
 func (c *Controller) Channel() *dram.Channel { return c.channel }
 
 // Pending returns the number of waiting (not yet issued) requests.
-func (c *Controller) Pending() int { return len(c.queue) }
+func (c *Controller) Pending() int { return c.pending }

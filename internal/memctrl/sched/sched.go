@@ -1,0 +1,281 @@
+// Package sched is the memory controller's scheduling kernel: a small
+// vocabulary of composable priority rules and an ordered rule stack that
+// compares schedulable requests.
+//
+// The paper's contribution is literally a priority ordering (Critical >
+// Row-hit > Urgent > Rank > FCFS, §5–6), so every scheduling policy is
+// expressed here as a declarative stack of rules rather than a monolithic
+// comparator: plain FR-FCFS is `rowhit,fcfs`, the demand-first baseline is
+// `demandfirst,rowhit,fcfs`, Adaptive Prefetch Scheduling is
+// `critical,rowhit,urgent,fcfs`, and §6.5's ranking variant inserts `rank`
+// before `fcfs`. Custom stacks parse from a `rules:` string
+// (e.g. "rules:critical,rowhit,urgent,fcfs"), which makes §6-style
+// priority-order ablations a configuration grid instead of new code.
+//
+// The package is deliberately free of controller internals: rules compare
+// Cand values whose fields (row-hit status, criticality, urgency, rank)
+// the controller derives from its indexes before arbitration.
+package sched
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Cand is one schedulable request's priority inputs, precomputed by the
+// controller so each rule is a pure field comparison.
+type Cand struct {
+	Seq      uint64 // admission order, the universal FCFS tiebreak
+	Rank     int    // per-core shortest-job rank (higher schedules first)
+	Core     int
+	Pref     bool // currently a prefetch (promoted prefetches are demands)
+	Hit      bool // request targets its bank's open row
+	Critical bool // demand, or prefetch of an accurate core (rule 1)
+	Urgent   bool // demand of a core whose prefetching is inaccurate (rule 3)
+}
+
+// Rule is one priority comparator in a stack. Compare returns a positive
+// value when a outranks b, a negative value when b outranks a, and 0 when
+// the rule has no opinion (the next rule in the stack decides).
+type Rule interface {
+	Name() string
+	Compare(a, b Cand) int
+}
+
+// boolCmp orders true before false.
+func boolCmp(a, b bool) int {
+	switch {
+	case a == b:
+		return 0
+	case a:
+		return 1
+	default:
+		return -1
+	}
+}
+
+// criticalRule is priority rule 1: critical requests (demands, and
+// prefetches of cores whose measured accuracy promoted them) first.
+type criticalRule struct{}
+
+func (criticalRule) Name() string          { return "critical" }
+func (criticalRule) Compare(a, b Cand) int { return boolCmp(a.Critical, b.Critical) }
+
+// rowHitRule is priority rule 2: row-buffer hits first (the FR of FR-FCFS).
+type rowHitRule struct{}
+
+func (rowHitRule) Name() string          { return "rowhit" }
+func (rowHitRule) Compare(a, b Cand) int { return boolCmp(a.Hit, b.Hit) }
+
+// urgentRule is priority rule 3: demands of cores with inaccurate
+// prefetching outrank requests of equal criticality and row-hit status.
+type urgentRule struct{}
+
+func (urgentRule) Name() string          { return "urgent" }
+func (urgentRule) Compare(a, b Cand) int { return boolCmp(a.Urgent, b.Urgent) }
+
+// demandFirstRule is the rigid demand-first class split: any demand
+// outranks any prefetch.
+type demandFirstRule struct{}
+
+func (demandFirstRule) Name() string          { return "demandfirst" }
+func (demandFirstRule) Compare(a, b Cand) int { return boolCmp(!a.Pref, !b.Pref) }
+
+// prefetchFirstRule is the footnote-2 strawman: prefetches first.
+type prefetchFirstRule struct{}
+
+func (prefetchFirstRule) Name() string          { return "prefetchfirst" }
+func (prefetchFirstRule) Compare(a, b Cand) int { return boolCmp(a.Pref, b.Pref) }
+
+// rankRule is the §6.5 shortest-job ranking stage: among critical
+// requests, cores with fewer outstanding critical requests first. A
+// non-critical request competes with rank 0, matching the paper's rule
+// table (ranking applies to critical requests only).
+type rankRule struct{}
+
+func (rankRule) Name() string { return "rank" }
+func (rankRule) Compare(a, b Cand) int {
+	ra, rb := 0, 0
+	if a.Critical {
+		ra = a.Rank
+	}
+	if b.Critical {
+		rb = b.Rank
+	}
+	switch {
+	case ra == rb:
+		return 0
+	case ra > rb:
+		return 1
+	default:
+		return -1
+	}
+}
+
+// fcfsRule is the final oldest-first tiebreak. Sequence numbers are unique
+// per controller, so this rule is always decisive.
+type fcfsRule struct{}
+
+func (fcfsRule) Name() string { return "fcfs" }
+func (fcfsRule) Compare(a, b Cand) int {
+	switch {
+	case a.Seq == b.Seq:
+		return 0
+	case a.Seq < b.Seq:
+		return 1
+	default:
+		return -1
+	}
+}
+
+// ruleByName is the rule vocabulary Parse accepts.
+var ruleByName = map[string]Rule{
+	"critical":      criticalRule{},
+	"rowhit":        rowHitRule{},
+	"urgent":        urgentRule{},
+	"demandfirst":   demandFirstRule{},
+	"prefetchfirst": prefetchFirstRule{},
+	"rank":          rankRule{},
+	"fcfs":          fcfsRule{},
+}
+
+// RuleNames returns the accepted rule vocabulary, sorted.
+func RuleNames() []string {
+	out := make([]string, 0, len(ruleByName))
+	for n := range ruleByName {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Prefix introduces a custom rule stack in every policy surface
+// (sim config, sweep specs, the -policy flag): "rules:critical,rowhit,fcfs".
+const Prefix = "rules:"
+
+// aliases maps the legacy policy names onto their canonical rule lists
+// (DESIGN.md maps each onto the paper's §5.1/§6.5 priority tables).
+var aliases = map[string]string{
+	"demand-pref-equal": "rowhit,fcfs",
+	"equal":             "rowhit,fcfs",
+	"demand-first":      "demandfirst,rowhit,fcfs",
+	"prefetch-first":    "prefetchfirst,rowhit,fcfs",
+	"aps":               "critical,rowhit,urgent,fcfs",
+	"aps-rank":          "critical,rowhit,urgent,rank,fcfs",
+}
+
+// Stack is an ordered chain of priority rules; earlier rules dominate.
+// The zero Stack is invalid — build one with Parse or MustParse.
+type Stack struct {
+	spec  string // canonical "rules:..." form
+	rules []Rule
+}
+
+// Parse builds a Stack from a policy string: either a legacy alias
+// (demand-pref-equal, equal, demand-first, prefetch-first, aps, aps-rank)
+// or an explicit "rules:" list such as "rules:critical,rowhit,urgent,fcfs".
+// Unknown names, empty lists, duplicate rules and rules listed after the
+// always-decisive fcfs are rejected.
+func Parse(policy string) (Stack, error) {
+	list, ok := aliases[policy]
+	if !ok {
+		if !strings.HasPrefix(policy, Prefix) {
+			return Stack{}, fmt.Errorf(
+				"sched: unknown policy %q (aliases: %s; or %s<list> over %s)",
+				policy, strings.Join(AliasNames(), ", "), Prefix, strings.Join(RuleNames(), ", "))
+		}
+		list = strings.TrimPrefix(policy, Prefix)
+	}
+	parts := strings.Split(list, ",")
+	s := Stack{rules: make([]Rule, 0, len(parts))}
+	seen := map[string]bool{}
+	for _, p := range parts {
+		name := strings.TrimSpace(p)
+		if name == "" {
+			return Stack{}, fmt.Errorf("sched: empty rule name in %q", policy)
+		}
+		r, ok := ruleByName[name]
+		if !ok {
+			return Stack{}, fmt.Errorf("sched: unknown rule %q (known: %s)", name, strings.Join(RuleNames(), ", "))
+		}
+		if seen[name] {
+			return Stack{}, fmt.Errorf("sched: duplicate rule %q in %q", name, policy)
+		}
+		if seen["fcfs"] {
+			return Stack{}, fmt.Errorf("sched: rule %q is unreachable after fcfs in %q", name, policy)
+		}
+		seen[name] = true
+		s.rules = append(s.rules, r)
+	}
+	if len(s.rules) == 0 {
+		return Stack{}, fmt.Errorf("sched: empty rule stack %q", policy)
+	}
+	names := make([]string, len(s.rules))
+	for i, r := range s.rules {
+		names[i] = r.Name()
+	}
+	s.spec = Prefix + strings.Join(names, ",")
+	return s, nil
+}
+
+// MustParse is Parse for statically-known policies; it panics on error.
+func MustParse(policy string) Stack {
+	s, err := Parse(policy)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// AliasNames returns the accepted legacy policy aliases, sorted.
+func AliasNames() []string {
+	out := make([]string, 0, len(aliases))
+	for n := range aliases {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// String returns the canonical "rules:..." spelling of the stack.
+func (s Stack) String() string { return s.spec }
+
+// Rules returns the chain in priority order. Callers must not mutate it.
+func (s Stack) Rules() []Rule { return s.rules }
+
+// Uses reports whether the stack contains the named rule; the controller
+// consults it to skip maintaining inputs no rule reads.
+func (s Stack) Uses(name string) bool {
+	for _, r := range s.rules {
+		if r.Name() == name {
+			return true
+		}
+	}
+	return false
+}
+
+// ImplicitFCFS is the decider index Better returns when no rule in the
+// stack had an opinion and the admission-order tiebreak decided.
+const ImplicitFCFS = -1
+
+// Better reports whether a should be scheduled before b, and which rule
+// decided: the index into Rules, or ImplicitFCFS for the trailing
+// admission-order tiebreak every stack falls back to. Sequence numbers are
+// unique, so the result is a strict total order regardless of scan order.
+func (s Stack) Better(a, b Cand) (better bool, decider int) {
+	for i, r := range s.rules {
+		if d := r.Compare(a, b); d != 0 {
+			return d > 0, i
+		}
+	}
+	return a.Seq < b.Seq, ImplicitFCFS
+}
+
+// DeciderName names a decider index returned by Better.
+func (s Stack) DeciderName(i int) string {
+	if i >= 0 && i < len(s.rules) {
+		return s.rules[i].Name()
+	}
+	return "fcfs"
+}

@@ -1,0 +1,165 @@
+package sched
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseAliases(t *testing.T) {
+	want := map[string]string{
+		"demand-pref-equal": "rules:rowhit,fcfs",
+		"equal":             "rules:rowhit,fcfs",
+		"demand-first":      "rules:demandfirst,rowhit,fcfs",
+		"prefetch-first":    "rules:prefetchfirst,rowhit,fcfs",
+		"aps":               "rules:critical,rowhit,urgent,fcfs",
+		"aps-rank":          "rules:critical,rowhit,urgent,rank,fcfs",
+	}
+	for alias, canon := range want {
+		s, err := Parse(alias)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", alias, err)
+		}
+		if s.String() != canon {
+			t.Errorf("Parse(%q) = %q, want %q", alias, s, canon)
+		}
+	}
+}
+
+func TestParseRulesString(t *testing.T) {
+	s, err := Parse("rules:critical, rowhit ,urgent,fcfs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s.String(); got != "rules:critical,rowhit,urgent,fcfs" {
+		t.Errorf("canonical form = %q", got)
+	}
+	if !s.Uses("urgent") || s.Uses("rank") {
+		t.Errorf("Uses: urgent=%v rank=%v", s.Uses("urgent"), s.Uses("rank"))
+	}
+	// Round trip: the canonical form parses back to itself.
+	s2, err := Parse(s.String())
+	if err != nil || s2.String() != s.String() {
+		t.Fatalf("round trip: %q, %v", s2, err)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	for _, bad := range []string{
+		"",                      // unknown
+		"padc",                  // APD is not a scheduling rule
+		"rules:",                // empty list
+		"rules:frobnicate",      // unknown rule
+		"rules:rowhit,rowhit",   // duplicate
+		"rules:fcfs,rowhit",     // unreachable after fcfs
+		"rules:rowhit,,fcfs",    // empty element
+		"RULES:rowhit",          // case-sensitive prefix
+		"rules:critical rowhit", // missing comma => unknown rule
+	} {
+		if _, err := Parse(bad); err == nil {
+			t.Errorf("Parse(%q) succeeded, want error", bad)
+		}
+	}
+	// Error text should teach the syntax.
+	_, err := Parse("bogus")
+	if err == nil || !strings.Contains(err.Error(), Prefix) {
+		t.Errorf("unknown-policy error should mention the %q syntax: %v", Prefix, err)
+	}
+}
+
+func TestRuleSemantics(t *testing.T) {
+	// Each rule orders its attribute and abstains otherwise.
+	cases := []struct {
+		rule string
+		a, b Cand
+		want int
+	}{
+		{"critical", Cand{Critical: true}, Cand{}, 1},
+		{"critical", Cand{}, Cand{Critical: true}, -1},
+		{"critical", Cand{Critical: true}, Cand{Critical: true}, 0},
+		{"rowhit", Cand{Hit: true}, Cand{}, 1},
+		{"urgent", Cand{Urgent: true}, Cand{}, 1},
+		{"demandfirst", Cand{}, Cand{Pref: true}, 1},
+		{"demandfirst", Cand{Pref: true}, Cand{}, -1},
+		{"prefetchfirst", Cand{Pref: true}, Cand{}, 1},
+		{"fcfs", Cand{Seq: 1}, Cand{Seq: 2}, 1},
+		{"fcfs", Cand{Seq: 2}, Cand{Seq: 1}, -1},
+		// Rank orders critical requests by rank, higher first…
+		{"rank", Cand{Critical: true, Rank: -1}, Cand{Critical: true, Rank: -3}, 1},
+		// …treats a non-critical request as rank 0 (it can outrank a
+		// critical one here; criticality splits earlier in real stacks)…
+		{"rank", Cand{Rank: -5}, Cand{Critical: true, Rank: -3}, 1},
+		// …and abstains on equal effective rank.
+		{"rank", Cand{Critical: true, Rank: -2}, Cand{Critical: true, Rank: -2}, 0},
+	}
+	for _, c := range cases {
+		r := ruleByName[c.rule]
+		if got := r.Compare(c.a, c.b); got != c.want {
+			t.Errorf("%s.Compare(%+v, %+v) = %d, want %d", c.rule, c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestStackBetterOrderAndDecider(t *testing.T) {
+	s := MustParse("aps")
+	// Criticality dominates row-hit status.
+	crit := Cand{Seq: 2, Critical: true}
+	hit := Cand{Seq: 1, Hit: true}
+	if better, by := s.Better(crit, hit); !better || s.DeciderName(by) != "critical" {
+		t.Errorf("critical should dominate: better=%v by=%s", better, s.DeciderName(by))
+	}
+	// Fully tied candidates fall to the explicit fcfs rule.
+	a := Cand{Seq: 1, Critical: true}
+	b := Cand{Seq: 2, Critical: true}
+	if better, by := s.Better(a, b); !better || s.DeciderName(by) != "fcfs" {
+		t.Errorf("fcfs tiebreak: better=%v by=%s", better, s.DeciderName(by))
+	}
+	if better, _ := s.Better(b, a); better {
+		t.Error("younger request won the fcfs tiebreak")
+	}
+}
+
+func TestImplicitFCFSFallback(t *testing.T) {
+	s := MustParse("rules:rowhit") // no explicit fcfs
+	a := Cand{Seq: 1}
+	b := Cand{Seq: 2}
+	better, by := s.Better(a, b)
+	if !better || by != ImplicitFCFS || s.DeciderName(by) != "fcfs" {
+		t.Errorf("implicit fallback: better=%v by=%d name=%s", better, by, s.DeciderName(by))
+	}
+}
+
+// TestStackIsStrictTotalOrder checks antisymmetry over a candidate cross
+// product: exactly one of Better(a,b) / Better(b,a) holds for a != b.
+func TestStackIsStrictTotalOrder(t *testing.T) {
+	var cands []Cand
+	seq := uint64(0)
+	for _, crit := range []bool{false, true} {
+		for _, hit := range []bool{false, true} {
+			for _, urg := range []bool{false, true} {
+				for _, pref := range []bool{false, true} {
+					for _, rank := range []int{-2, 0} {
+						cands = append(cands, Cand{
+							Seq: seq, Critical: crit, Hit: hit, Urgent: urg, Pref: pref, Rank: rank,
+						})
+						seq++
+					}
+				}
+			}
+		}
+	}
+	for _, spec := range append(AliasNames(), "rules:rank,urgent,prefetchfirst") {
+		s := MustParse(spec)
+		for i, a := range cands {
+			for j, b := range cands {
+				if i == j {
+					continue
+				}
+				ab, _ := s.Better(a, b)
+				ba, _ := s.Better(b, a)
+				if ab == ba {
+					t.Fatalf("%s: Better not antisymmetric for %+v vs %+v (both %v)", spec, a, b, ab)
+				}
+			}
+		}
+	}
+}

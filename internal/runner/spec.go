@@ -22,6 +22,7 @@ import (
 
 	"padc/internal/core"
 	"padc/internal/memctrl"
+	"padc/internal/memctrl/sched"
 	"padc/internal/sim"
 	"padc/internal/workload"
 )
@@ -309,7 +310,21 @@ func policyMutator(name string) (func(*sim.Config), error) {
 	case "padc-rank":
 		return func(c *sim.Config) { c.Policy = memctrl.APSRank }, nil
 	default:
-		return nil, fmt.Errorf("runner: unknown policy %q (known: %s)", name, strings.Join(PolicyNames(), ", "))
+		// Explicit rule stacks ("rules:critical,rowhit,fcfs") sweep the
+		// scheduler's priority order directly. Like "aps" and the other
+		// scheduling-only policies, APD is disabled so the grid isolates
+		// the ordering under study.
+		if strings.HasPrefix(name, sched.Prefix) {
+			if _, err := sched.Parse(name); err != nil {
+				return nil, fmt.Errorf("runner: %v", err)
+			}
+			return func(c *sim.Config) {
+				c.Rules = name
+				c.PADC.EnableAPD = false
+			}, nil
+		}
+		return nil, fmt.Errorf("runner: unknown policy %q (known: %s; or %s<list> rule stacks)",
+			name, strings.Join(PolicyNames(), ", "), sched.Prefix)
 	}
 }
 

@@ -129,6 +129,45 @@ func TestThresholdAxesReachConfig(t *testing.T) {
 	}
 }
 
+// TestRuleStackPolicyAxis covers the "rules:" sweep vocabulary: explicit
+// rule stacks expand like any other policy (reaching Config.Rules with
+// APD off, so the grid isolates scheduling order), and malformed stacks
+// are rejected at spec validation.
+func TestRuleStackPolicyAxis(t *testing.T) {
+	stack := "rules:critical,rowhit,urgent,fcfs"
+	spec := Spec{
+		Cores:     2,
+		Workloads: [][]string{{"swim"}},
+		Policies:  []string{stack, "aps"},
+	}
+	jobs, err := spec.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(jobs) != 2 {
+		t.Fatalf("want 2 jobs, got %d", len(jobs))
+	}
+	cfg := jobs[0].Config
+	if cfg.Rules != stack {
+		t.Errorf("rule stack not applied: %q", cfg.Rules)
+	}
+	if cfg.PADC.EnableAPD {
+		t.Error("rule-stack policy left APD enabled")
+	}
+	if err := cfg.Validate(); err != nil {
+		t.Errorf("expanded config invalid: %v", err)
+	}
+	if !strings.Contains(jobs[0].Key, "policy="+stack) {
+		t.Errorf("rule stack missing from key %q", jobs[0].Key)
+	}
+	for _, bad := range []string{"rules:", "rules:frobnicate", "rules:fcfs,rowhit"} {
+		s := Spec{Cores: 2, Workloads: [][]string{{"swim"}}, Policies: []string{bad}}
+		if _, err := s.Expand(); err == nil {
+			t.Errorf("bad stack %q accepted", bad)
+		}
+	}
+}
+
 // FuzzSpecJSON feeds arbitrary bytes through the spec parser: parsing
 // must never panic, and any spec it accepts must expand to a bounded,
 // well-formed job list.

@@ -82,7 +82,13 @@ type Config struct {
 	DRAM        dram.Config
 	BufferSlots int // memory request buffer entries per controller
 	Policy      memctrl.Policy
-	PADC        core.Config
+	// Rules, when non-empty, overrides Policy with an explicit scheduling
+	// rule stack: a legacy alias ("aps") or a "rules:" list such as
+	// "rules:critical,rowhit,urgent,fcfs" (see internal/memctrl/sched).
+	// Priority-order ablations vary this string instead of adding enum
+	// values.
+	Rules string
+	PADC  core.Config
 
 	Prefetcher PrefetcherKind
 	Filter     FilterKind
@@ -170,6 +176,9 @@ func (c Config) Validate() error {
 	}
 	if c.MSHR < 1 {
 		return fmt.Errorf("sim: MSHR needs at least one entry")
+	}
+	if _, err := memctrl.ResolveStack(c.Policy, c.Rules); err != nil {
+		return err
 	}
 	if c.TargetInsts == 0 {
 		return fmt.Errorf("sim: TargetInsts must be positive")

@@ -97,13 +97,20 @@ func New(cfg Config) (*System, error) {
 
 	s.chans = make([]*dram.Channel, cfg.DRAM.Channels)
 	s.ctrls = make([]*memctrl.Controller, cfg.DRAM.Channels)
+	stack, err := memctrl.ResolveStack(cfg.Policy, cfg.Rules)
+	if err != nil {
+		return nil, err
+	}
+	// Explicit rule stacks always see the PADC accuracy meter (rules that
+	// never consult it simply ignore it); the legacy enum path keeps its
+	// historical wiring of handing it only to the adaptive policies.
 	var st memctrl.CoreState
-	if cfg.Policy == memctrl.APS || cfg.Policy == memctrl.APSRank {
+	if cfg.Rules != "" || cfg.Policy == memctrl.APS || cfg.Policy == memctrl.APSRank {
 		st = s.padc
 	}
 	for i := range s.chans {
 		s.chans[i] = dram.NewChannel(cfg.DRAM)
-		s.ctrls[i] = memctrl.New(cfg.Policy, s.chans[i], cfg.BufferSlots, st)
+		s.ctrls[i] = memctrl.NewStack(stack, s.chans[i], cfg.BufferSlots, st)
 	}
 
 	var sharedL2 *cache.Cache

@@ -76,6 +76,14 @@ type SystemConfig struct {
 	Prefetcher Prefetcher
 	Filter     Filter
 
+	// Rules, when non-empty, overrides Policy with an explicit scheduling
+	// rule stack — "rules:critical,rowhit,urgent,fcfs" — composed from the
+	// priority rules in internal/memctrl/sched (critical, rowhit, urgent,
+	// demandfirst, prefetchfirst, rank, fcfs). Legacy policy names are
+	// accepted as aliases. This is the knob for §6-style priority-order
+	// ablations.
+	Rules string
+
 	APD     bool // adaptive prefetch dropping (with APS this forms PADC)
 	Urgency bool // priority rule 3 (boost demands of inaccurate cores)
 
@@ -146,6 +154,7 @@ func DefaultSystem(ncores int) SystemConfig {
 // toSim lowers the public config onto the internal simulator config.
 func (c SystemConfig) toSim() (sim.Config, error) {
 	cfg := sim.Baseline(c.Cores)
+	cfg.Rules = c.Rules
 	cfg.Policy = map[Policy]memctrl.Policy{
 		DemandPrefEqual: memctrl.DemandPrefEqual,
 		DemandFirst:     memctrl.DemandFirst,
