@@ -32,11 +32,23 @@
 // which are byte-identical for any -jobs value.
 //
 //	padcsim -sweep spec.json -jobs 8 -verify -sweep-csv out.csv
+//
+// DRAM management (with -bench): -refresh enables the maintenance engine
+// (per-bank REFpb or all-bank REF with the JEDEC postpone/pull-in credit
+// window), -page selects the row-buffer policy (open, closed, or the
+// adaptive per-bank predictor). -dump-config prints the fully-resolved
+// machine — geometry, timing, rule stack, refresh and page policy — as
+// JSON and exits without simulating:
+//
+//	padcsim -bench swim,art -refresh per-bank -page adaptive
+//	padcsim -policy padc -refresh all-bank -dump-config
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"net"
 	"net/http"
 	_ "net/http/pprof"
@@ -60,6 +72,10 @@ func main() {
 		insts   = flag.Uint64("insts", 0, "instructions per core (0 = default)")
 		cores   = flag.Int("cores", 0, "cores to provision (0 = number of benchmarks)")
 		verbose = flag.Bool("v", false, "per-core details")
+
+		refreshMode = flag.String("refresh", "off", "DRAM refresh mode: off|per-bank|all-bank")
+		pagePolicy  = flag.String("page", "open", "row-buffer management: open|closed|adaptive")
+		dumpConfig  = flag.Bool("dump-config", false, "print the resolved machine configuration as JSON and exit")
 
 		metricsOut = flag.String("metrics", "", "write the epoch metric time series as CSV to this file")
 		traceOut   = flag.String("trace", "", "write a Chrome trace_event JSON to this file")
@@ -92,6 +108,14 @@ func main() {
 		for _, id := range padc.ExperimentIDs() {
 			fmt.Printf("  %s\n", id)
 		}
+	case *dumpConfig:
+		cfg, names, err := buildConfig(*bench, *policy, *pf, *refreshMode, *pagePolicy, *insts, *cores)
+		if err != nil {
+			fatal(err)
+		}
+		if err := writeResolvedConfig(os.Stdout, cfg, names); err != nil {
+			fatal(err)
+		}
 	case *sweepSpec != "":
 		if err := runSweep(*sweepSpec, *verify, *sweepCSV, *sweepJSON); err != nil {
 			fatal(err)
@@ -111,19 +135,8 @@ func main() {
 		}
 		fmt.Print(out)
 	case *bench != "":
-		names := strings.Split(*bench, ",")
-		n := *cores
-		if n == 0 {
-			n = len(names)
-		}
-		cfg := padc.DefaultSystem(n)
-		if *insts > 0 {
-			cfg.TargetInsts = *insts
-		}
-		if err := applyPolicy(&cfg, *policy); err != nil {
-			fatal(err)
-		}
-		if err := applyPrefetcher(&cfg, *pf); err != nil {
+		cfg, names, err := buildConfig(*bench, *policy, *pf, *refreshMode, *pagePolicy, *insts, *cores)
+		if err != nil {
 			fatal(err)
 		}
 		var tel *telemetry.Telemetry
@@ -211,6 +224,52 @@ func runSweep(path string, verify bool, csvOut, jsonOut string) error {
 	return nil
 }
 
+// buildConfig assembles the machine the simulation flags describe and
+// returns it with the benchmark list. With no -bench and no -cores it
+// provisions a single core, which is enough for -dump-config.
+func buildConfig(bench, policy, pf, refreshMode, page string, insts uint64, cores int) (padc.SystemConfig, []string, error) {
+	var names []string
+	if bench != "" {
+		names = strings.Split(bench, ",")
+	}
+	n := cores
+	if n == 0 {
+		n = len(names)
+	}
+	if n == 0 {
+		n = 1
+	}
+	cfg := padc.DefaultSystem(n)
+	if insts > 0 {
+		cfg.TargetInsts = insts
+	}
+	if err := applyPolicy(&cfg, policy); err != nil {
+		return cfg, nil, err
+	}
+	if err := applyPrefetcher(&cfg, pf); err != nil {
+		return cfg, nil, err
+	}
+	cfg.RefreshMode = refreshMode
+	cfg.PagePolicy = page
+	return cfg, names, nil
+}
+
+// writeResolvedConfig prints the -dump-config JSON: the fully-resolved
+// machine plus the workload list the other flags selected.
+func writeResolvedConfig(w io.Writer, cfg padc.SystemConfig, workloads []string) error {
+	rc, err := cfg.Describe()
+	if err != nil {
+		return err
+	}
+	out := struct {
+		padc.ResolvedConfig
+		Workloads []string `json:"workloads,omitempty"`
+	}{rc, workloads}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}
+
 func applyPolicy(cfg *padc.SystemConfig, s string) error {
 	switch s {
 	case "no-pref":
@@ -264,6 +323,11 @@ func report(res padc.Result, verbose bool) {
 		res.BusDemand, res.BusUseful, res.BusUseless, res.BusTotal())
 	fmt.Printf("row-hit rate: %.1f%%  RBHU: %.1f%%  dropped prefetches: %d\n",
 		res.RowHitRate*100, res.RBHU*100, res.Dropped)
+	if res.RefreshesIssued > 0 {
+		fmt.Printf("refreshes: issued=%d postponed=%d pulled-in=%d forced=%d blocked-cycles=%d\n",
+			res.RefreshesIssued, res.RefreshesPostponed, res.RefreshesPulledIn,
+			res.RefreshesForced, res.RefreshBlockedCycles)
+	}
 	for _, c := range res.Cores {
 		fmt.Printf("  %-12s IPC=%.3f MPKI=%.2f SPL=%.1f", c.Benchmark, c.IPC, c.MPKI, c.SPL)
 		if verbose {

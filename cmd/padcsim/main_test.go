@@ -1,6 +1,9 @@
 package main
 
 import (
+	"bytes"
+	"encoding/json"
+	"io"
 	"strings"
 	"testing"
 
@@ -59,6 +62,77 @@ func TestApplyPrefetcherKnownValues(t *testing.T) {
 			t.Errorf("prefetcher %q rejected: %v", s, err)
 		} else if cfg.Prefetcher != pf {
 			t.Errorf("prefetcher %q mapped to %v, want %v", s, cfg.Prefetcher, pf)
+		}
+	}
+}
+
+func TestBuildConfigAppliesRefreshAndPage(t *testing.T) {
+	cfg, names, err := buildConfig("swim,art", "padc", "stream", "per-bank", "adaptive", 5000, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(names) != 2 || names[0] != "swim" || names[1] != "art" {
+		t.Fatalf("benchmarks = %v", names)
+	}
+	if cfg.Cores != 2 {
+		t.Fatalf("cores = %d, want 2 (one per benchmark)", cfg.Cores)
+	}
+	if cfg.RefreshMode != "per-bank" || cfg.PagePolicy != "adaptive" {
+		t.Fatalf("refresh/page = %q/%q", cfg.RefreshMode, cfg.PagePolicy)
+	}
+	if cfg.TargetInsts != 5000 {
+		t.Fatalf("insts = %d", cfg.TargetInsts)
+	}
+
+	// No benchmarks and no -cores still yields a describable machine.
+	cfg, names, err = buildConfig("", "padc", "stream", "off", "open", 0, 0)
+	if err != nil || len(names) != 0 || cfg.Cores != 1 {
+		t.Fatalf("flagless config: cores=%d names=%v err=%v", cfg.Cores, names, err)
+	}
+}
+
+func TestWriteResolvedConfigJSON(t *testing.T) {
+	cfg, names, err := buildConfig("swim", "padc", "stream", "all-bank", "closed", 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := writeResolvedConfig(&buf, cfg, names); err != nil {
+		t.Fatal(err)
+	}
+	var got struct {
+		padc.ResolvedConfig
+		Workloads []string `json:"workloads"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &got); err != nil {
+		t.Fatalf("dump is not valid JSON: %v\n%s", err, buf.String())
+	}
+	if got.RuleStack == "" || !strings.Contains(got.RuleStack, "rules:") {
+		t.Errorf("rule stack not resolved: %q", got.RuleStack)
+	}
+	if got.DRAM.Refresh.Mode != "all-bank" || got.DRAM.Refresh.TREFI != 31_200 ||
+		got.DRAM.Refresh.TRFC != 640 || got.DRAM.Refresh.MaxPostpone != 8 {
+		t.Errorf("refresh timing not resolved: %+v", got.DRAM.Refresh)
+	}
+	if got.DRAM.PagePolicy != "closed" {
+		t.Errorf("page policy = %q, want closed", got.DRAM.PagePolicy)
+	}
+	if got.DRAM.Banks != 8 || got.DRAM.TRP != 60 || got.DRAM.Burst != 12 {
+		t.Errorf("geometry/timing not resolved: %+v", got.DRAM)
+	}
+	if len(got.Workloads) != 1 || got.Workloads[0] != "swim" {
+		t.Errorf("workloads = %v", got.Workloads)
+	}
+}
+
+func TestWriteResolvedConfigRejectsBadModes(t *testing.T) {
+	for _, tc := range [][2]string{{"hourly", "open"}, {"off", "ajar"}} {
+		cfg, names, err := buildConfig("swim", "padc", "stream", tc[0], tc[1], 0, 0)
+		if err != nil {
+			t.Fatal(err) // buildConfig defers vocabulary checks to Describe/Run
+		}
+		if err := writeResolvedConfig(io.Discard, cfg, names); err == nil {
+			t.Errorf("refresh=%q page=%q accepted", tc[0], tc[1])
 		}
 	}
 }

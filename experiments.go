@@ -49,7 +49,8 @@ var experimentRegistry = map[string]func(sc exp.Scale) []*exp.Table{
 	"abl-drop":  func(sc exp.Scale) []*exp.Table { return []*exp.Table{exp.AblationDropThreshold(sc)} },
 	"abl-prom":  func(sc exp.Scale) []*exp.Table { return []*exp.Table{exp.AblationPromotionThreshold(sc)} },
 	"abl-map":   func(sc exp.Scale) []*exp.Table { return []*exp.Table{exp.AblationAddressMapping(sc)} },
-	"abl-rules": func(sc exp.Scale) []*exp.Table { return []*exp.Table{exp.AblationRuleOrder(sc)} },
+	"abl-rules":   func(sc exp.Scale) []*exp.Table { return []*exp.Table{exp.AblationRuleOrder(sc)} },
+	"abl-refresh": func(sc exp.Scale) []*exp.Table { return []*exp.Table{exp.AblationRefresh(sc)} },
 }
 
 // ExperimentIDs lists every reproducible figure/table id.

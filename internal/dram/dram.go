@@ -12,7 +12,11 @@
 // exploits.
 package dram
 
-import "fmt"
+import (
+	"fmt"
+
+	"padc/internal/dram/refresh"
+)
 
 // Timing holds DRAM timing parameters in processor cycles. The defaults
 // correspond to the paper's DDR3-1333 part (15ns per command) on a 4GHz
@@ -74,9 +78,30 @@ type Config struct {
 	RowBytes    uint64 // row-buffer size per bank
 	LineBytes   uint64 // cache-line (transfer) size
 	Timing      Timing
-	ClosedRow   bool // closed-row policy instead of open-row
+	ClosedRow   bool // closed-row policy instead of open-row (alias for Page: ClosedPage)
 	Permutation bool // permutation-based bank index remapping (Zhang et al.)
 	TickEvery   uint64
+
+	// Page selects the row-buffer management policy (open, closed, or the
+	// adaptive per-bank predictor). The legacy ClosedRow flag is honored
+	// when Page is left at its OpenPage zero value.
+	Page PagePolicy
+
+	// Refresh configures the maintenance engine (off by default); the
+	// memory controller owns its scheduling (see internal/dram/refresh).
+	Refresh refresh.Config
+}
+
+// EffectivePage resolves the page policy, folding the legacy ClosedRow
+// flag into the Page field's vocabulary.
+func (c Config) EffectivePage() PagePolicy {
+	if c.Page != OpenPage {
+		return c.Page
+	}
+	if c.ClosedRow {
+		return ClosedPage
+	}
+	return OpenPage
 }
 
 // DefaultConfig is the paper's baseline: one channel, 8 banks, 4KB rows,
@@ -105,8 +130,10 @@ func (c Config) Validate() error {
 		return fmt.Errorf("dram: row size %d not a multiple of line size %d", c.RowBytes, c.LineBytes)
 	case c.Channels&(c.Channels-1) != 0:
 		return fmt.Errorf("dram: channels must be a power of two, got %d", c.Channels)
+	case c.Page < OpenPage || c.Page > AdaptivePage:
+		return fmt.Errorf("dram: unknown page policy %d", int(c.Page))
 	}
-	return nil
+	return c.Refresh.Validate()
 }
 
 // LinesPerRow returns the number of cache lines a row buffer caches.
@@ -140,6 +167,20 @@ func (c Config) Map(lineAddr uint64) Address {
 	return Address{Channel: ch, Bank: bank, Row: row, Col: col}
 }
 
+// Unmap is the inverse of Map: it reassembles the cache-line address from
+// DRAM coordinates. Map and Unmap form a bijection over line addresses —
+// including with Permutation enabled, since the XOR bank remap is
+// self-inverse given the row.
+func (c Config) Unmap(a Address) uint64 {
+	bank := a.Bank
+	if c.Permutation {
+		bank = bank ^ int(a.Row%uint64(c.Banks))
+	}
+	rest := a.Row*uint64(c.Banks) + uint64(bank)
+	rest = rest*uint64(c.Channels) + uint64(a.Channel)
+	return rest*c.LinesPerRow() + a.Col
+}
+
 // Bank is the state of one DRAM bank.
 type Bank struct {
 	OpenRow   int64  // -1 when no row is open (precharged)
@@ -167,6 +208,8 @@ func (b *Bank) State(row uint64) RowState {
 // shared data bus.
 type Channel struct {
 	cfg       Config
+	page      PagePolicy
+	pred      []pagePredictor // per-bank predictors (AdaptivePage only)
 	Banks     []Bank
 	busUntil  uint64 // data bus reserved through this cycle
 	completed uint64
@@ -177,13 +220,25 @@ type Channel struct {
 	Activations   uint64
 	Precharges    uint64
 	BusBusyCycles uint64
+
+	// Refreshes counts the maintenance operations applied to this
+	// channel's banks; PredCloses counts precharges the adaptive page
+	// predictor decided (a subset of Precharges).
+	Refreshes  uint64
+	PredCloses uint64
 }
 
 // NewChannel builds the banks for one channel of cfg.
 func NewChannel(cfg Config) *Channel {
-	ch := &Channel{cfg: cfg, Banks: make([]Bank, cfg.Banks)}
+	ch := &Channel{cfg: cfg, page: cfg.EffectivePage(), Banks: make([]Bank, cfg.Banks)}
 	for i := range ch.Banks {
 		ch.Banks[i].OpenRow = -1
+	}
+	if ch.page == AdaptivePage {
+		ch.pred = make([]pagePredictor, cfg.Banks)
+		for i := range ch.pred {
+			ch.pred[i] = newPagePredictor()
+		}
 	}
 	return ch
 }
@@ -199,10 +254,11 @@ func (ch *Channel) BankReady(b int, now uint64) bool {
 // Issue schedules a request to (bank, row) at cycle now and returns the
 // completion cycle (when the line's burst has fully transferred) and the
 // row-buffer state the request found. The caller must have checked
-// BankReady. keepOpen is consulted only under the closed-row policy: it
-// tells the channel whether more row-hit work for this row is pending, in
-// which case the row stays open; otherwise the row is precharged for free
-// after the access (the closed-row policy's hidden precharge).
+// BankReady. keepOpen tells the channel whether more row-hit work for
+// this row is pending; the closed-row and adaptive page policies keep the
+// row open in that case and otherwise may precharge it for free after the
+// access (the closed-row policy always does, the adaptive policy when its
+// per-bank predictor votes precharge). The open-row policy ignores it.
 func (ch *Channel) Issue(bank int, row, now uint64, keepOpen bool) (finish uint64, state RowState) {
 	b := &ch.Banks[bank]
 	state = b.State(row)
@@ -231,14 +287,45 @@ func (ch *Channel) Issue(bank int, row, now uint64, keepOpen bool) (finish uint6
 	}
 	ch.BusBusyCycles += ch.cfg.Timing.Burst
 
-	if ch.cfg.ClosedRow && !keepOpen {
-		ch.Precharges++ // the closed-row policy's hidden precharge
-		b.OpenRow = -1
-	} else {
+	switch ch.page {
+	case ClosedPage:
+		if keepOpen {
+			b.OpenRow = int64(row)
+		} else {
+			ch.Precharges++ // the closed-row policy's hidden precharge
+			b.OpenRow = -1
+		}
+	case AdaptivePage:
+		p := &ch.pred[bank]
+		p.train(state, row)
+		if keepOpen || p.keepOpen() {
+			b.OpenRow = int64(row)
+		} else {
+			ch.Precharges++
+			ch.PredCloses++
+			b.OpenRow = -1
+		}
+		p.lastRow = int64(row)
+	default: // open-page: the row stays open until a conflict evicts it
 		b.OpenRow = int64(row)
 	}
 	ch.completed++
 	return finish, state
+}
+
+// Refresh occupies bank b with a maintenance operation through cycle
+// until: the row buffer is precharged and the bank accepts no request
+// before the refresh completes. Refresh commands do not use the data bus.
+// The caller (the memory controller's refresh engine) must have checked
+// BankReady.
+func (ch *Channel) Refresh(b int, until uint64) {
+	bank := &ch.Banks[b]
+	if bank.OpenRow >= 0 {
+		ch.Precharges++ // refresh implies precharging the open row
+	}
+	bank.OpenRow = -1
+	bank.BusyUntil = until
+	ch.Refreshes++
 }
 
 // Completed returns the number of requests this channel has serviced.

@@ -1,0 +1,86 @@
+package dram
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// geometries returns a spread of valid configs, with and without the
+// permutation remap, for the bijection properties.
+func geometries() []Config {
+	var out []Config
+	for _, chans := range []int{1, 2, 4} {
+		for _, banks := range []int{4, 8, 16} {
+			for _, perm := range []bool{false, true} {
+				c := DefaultConfig()
+				c.Channels = chans
+				c.Banks = banks
+				c.Permutation = perm
+				out = append(out, c)
+			}
+		}
+	}
+	return out
+}
+
+func TestMapUnmapBijection(t *testing.T) {
+	for _, c := range geometries() {
+		c := c
+		// Unmap(Map(line)) == line over the full line-address space.
+		roundTrip := func(line uint64) bool { return c.Unmap(c.Map(line)) == line }
+		if err := quick.Check(roundTrip, nil); err != nil {
+			t.Errorf("chans=%d banks=%d perm=%v: %v", c.Channels, c.Banks, c.Permutation, err)
+		}
+		// Map(Unmap(addr)) == addr for in-range coordinates: injectivity in
+		// the other direction, so the pair is a true bijection.
+		coords := func(row uint64, bank, ch uint16, col uint16) bool {
+			a := Address{
+				Channel: int(ch) % c.Channels,
+				Bank:    int(bank) % c.Banks,
+				Row:     row % (1 << 40),
+				Col:     uint64(col) % c.LinesPerRow(),
+			}
+			return c.Map(c.Unmap(a)) == a
+		}
+		if err := quick.Check(coords, nil); err != nil {
+			t.Errorf("chans=%d banks=%d perm=%v (inverse): %v", c.Channels, c.Banks, c.Permutation, err)
+		}
+	}
+}
+
+func TestUnmapPermutationSelfInverse(t *testing.T) {
+	// The permutation remap XORs low row bits into the bank index; applying
+	// it twice must be the identity, which is what lets Unmap recover the
+	// pre-permutation bank.
+	c := DefaultConfig()
+	c.Permutation = true
+	for line := uint64(0); line < 1<<16; line++ {
+		a := c.Map(line)
+		if got := c.Unmap(a); got != line {
+			t.Fatalf("line %#x -> %+v -> %#x", line, a, got)
+		}
+	}
+}
+
+func FuzzMapUnmap(f *testing.F) {
+	f.Add(uint64(0), uint8(1), uint8(8), false)
+	f.Add(uint64(1<<40), uint8(2), uint8(16), true)
+	f.Add(^uint64(0)>>8, uint8(4), uint8(4), true)
+	f.Fuzz(func(t *testing.T, line uint64, chans, banks uint8, perm bool) {
+		c := DefaultConfig()
+		// Clamp the fuzzed geometry onto valid powers of two.
+		c.Channels = 1 << (chans % 3) // 1, 2, 4
+		c.Banks = 4 << (banks % 3)    // 4, 8, 16
+		c.Permutation = perm
+		if err := c.Validate(); err != nil {
+			t.Fatalf("fuzz geometry invalid: %v", err)
+		}
+		a := c.Map(line)
+		if a.Bank < 0 || a.Bank >= c.Banks || a.Channel < 0 || a.Channel >= c.Channels || a.Col >= c.LinesPerRow() {
+			t.Fatalf("Map(%#x) out of range: %+v", line, a)
+		}
+		if got := c.Unmap(a); got != line {
+			t.Fatalf("Unmap(Map(%#x)) = %#x (%+v)", line, got, a)
+		}
+	})
+}

@@ -1,0 +1,107 @@
+package dram
+
+import "fmt"
+
+// PagePolicy selects how a bank manages its row buffer after an access:
+// leave the row open betting on locality (open-page), precharge
+// immediately betting against it (closed-page), or predict per bank from
+// recent row-buffer outcomes (HAPPY-style adaptive). The zero value is
+// OpenPage so existing configs keep their behavior.
+type PagePolicy int
+
+const (
+	OpenPage PagePolicy = iota
+	ClosedPage
+	AdaptivePage
+)
+
+// String implements fmt.Stringer.
+func (p PagePolicy) String() string {
+	switch p {
+	case OpenPage:
+		return "open"
+	case ClosedPage:
+		return "closed"
+	case AdaptivePage:
+		return "adaptive"
+	default:
+		return fmt.Sprintf("PagePolicy(%d)", int(p))
+	}
+}
+
+// ParsePagePolicy maps the configuration-surface spellings onto a
+// PagePolicy. The empty string is OpenPage, the simulator default.
+func ParsePagePolicy(s string) (PagePolicy, error) {
+	switch s {
+	case "", "open":
+		return OpenPage, nil
+	case "closed":
+		return ClosedPage, nil
+	case "adaptive":
+		return AdaptivePage, nil
+	default:
+		return OpenPage, fmt.Errorf("dram: unknown page policy %q (open, closed, adaptive)", s)
+	}
+}
+
+// PagePolicyNames returns the accepted ParsePagePolicy vocabulary.
+func PagePolicyNames() []string { return []string{"open", "closed", "adaptive"} }
+
+// pagePredictor is one bank's keep-open/precharge predictor: a saturating
+// counter trained on observed row-buffer outcomes, in the spirit of HAPPY
+// (Ghasempour et al.) reduced to per-bank history. High counter values
+// vote keep-open, low values vote precharge.
+type pagePredictor struct {
+	ctr     int8  // saturating in [0, predMax]
+	lastRow int64 // last accessed row, remembered across precharges
+}
+
+const (
+	predMax  = 7
+	predKeep = 4 // ctr >= predKeep predicts keep-open
+	predInit = 5 // start leaning open, matching the open-page default
+)
+
+func newPagePredictor() pagePredictor { return pagePredictor{ctr: predInit, lastRow: -1} }
+
+// train updates the counter with the outcome the previous decision
+// produced for an access to row:
+//
+//   - a row hit means keeping the row open paid off;
+//   - a row conflict means it should have been precharged;
+//   - arriving at a precharged bank, re-opening the row that was just
+//     closed means the precharge wasted a tRCD (vote open), while opening
+//     a different row means the precharge hid a would-be conflict's tRP
+//     (vote close).
+func (p *pagePredictor) train(state RowState, row uint64) {
+	switch state {
+	case RowHit:
+		p.up()
+	case RowConflict:
+		p.down()
+	case RowClosed:
+		if p.lastRow < 0 {
+			return // cold bank: nothing to learn from
+		}
+		if p.lastRow == int64(row) {
+			p.up()
+		} else {
+			p.down()
+		}
+	}
+}
+
+func (p *pagePredictor) up() {
+	if p.ctr < predMax {
+		p.ctr++
+	}
+}
+
+func (p *pagePredictor) down() {
+	if p.ctr > 0 {
+		p.ctr--
+	}
+}
+
+// keepOpen returns the current prediction.
+func (p *pagePredictor) keepOpen() bool { return p.ctr >= predKeep }

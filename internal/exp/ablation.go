@@ -4,8 +4,11 @@ import (
 	"fmt"
 
 	"padc/internal/core"
+	"padc/internal/dram"
+	"padc/internal/dram/refresh"
 	"padc/internal/memctrl"
 	"padc/internal/sim"
+	"padc/internal/stats"
 )
 
 // AblationDropThreshold compares APD's dynamic 4-level drop-threshold
@@ -116,6 +119,83 @@ func AblationRuleOrder(sc Scale) *Table {
 	points := []sweepPoint{{Label: "WS", Mutate: nil}}
 	return sweepVariantsOverMixesOn(Mixes(4, sc.Mixes4),
 		"Ablation: scheduler priority-rule order (4-core WS)", sc, variants, points)
+}
+
+// AblationRefresh charges the simulator with DRAM maintenance (a cost the
+// paper's evaluation idealizes away) and measures what each refresh mode
+// does to the scheduling policies: per-bank REFpb steals one bank at a
+// time for tRFCpb, all-bank REF drains the rank and blocks every bank for
+// tRFC, and the JEDEC postpone/pull-in window decides when the obligation
+// is paid. The page-policy variants show whether the adaptive per-bank
+// predictor claws back any of the locality the refresh-induced precharges
+// destroy. WS and the maintenance counters are averaged over the mixes.
+func AblationRefresh(sc Scale) *Table {
+	withPage := func(name string, v Variant, p dram.PagePolicy) Variant {
+		return Variant{name, func(c *sim.Config) {
+			v.Apply(c)
+			c.DRAM.Page = p
+		}}
+	}
+	variants := []Variant{
+		DemandFirst(),
+		PADC(),
+		withPage("PADC-closed-page", PADC(), dram.ClosedPage),
+		withPage("PADC-adaptive-page", PADC(), dram.AdaptivePage),
+	}
+	modes := []refresh.Mode{refresh.Off, refresh.PerBank, refresh.AllBank}
+	mixes := Mixes(4, sc.Mixes4)
+
+	type acc struct {
+		ws float64
+		rf stats.RefreshStats
+	}
+	grid := make([][]acc, len(variants))
+	for vi := range grid {
+		grid[vi] = make([]acc, len(modes))
+	}
+	type job struct{ vi, pi int }
+	var jobs []job
+	for vi := range variants {
+		for pi := range modes {
+			jobs = append(jobs, job{vi, pi})
+		}
+	}
+	parallel(len(jobs), func(i int) {
+		j := jobs[i]
+		mode := modes[j.pi]
+		mutate := func(c *sim.Config) { c.DRAM.Refresh.Mode = mode }
+		alone := NewAloneIPC() // per job: the alone baseline must see the same refresh mode
+		a := acc{}
+		for _, mix := range mixes {
+			r := RunMix(mix, 4, sc, variants[j.vi], alone, mutate)
+			a.ws += r.WS
+			a.rf.Issued += r.Res.Refresh.Issued
+			a.rf.Postponed += r.Res.Refresh.Postponed
+			a.rf.PulledIn += r.Res.Refresh.PulledIn
+			a.rf.Forced += r.Res.Refresh.Forced
+			a.rf.BlockedCycles += r.Res.Refresh.BlockedCycles
+		}
+		grid[j.vi][j.pi] = a
+	})
+
+	t := &Table{
+		Title:  "Ablation: DRAM refresh mode x page policy (4-core)",
+		Header: []string{"policy", "refresh", "WS", "refreshes", "postponed", "pulled-in", "forced", "blocked(K)"},
+	}
+	n := uint64(len(mixes))
+	for vi, v := range variants {
+		for pi, mode := range modes {
+			a := grid[vi][pi]
+			t.Add(v.Name, mode.String(),
+				fmt.Sprintf("%.3f", a.ws/float64(n)),
+				fmt.Sprintf("%d", a.rf.Issued/n),
+				fmt.Sprintf("%d", a.rf.Postponed/n),
+				fmt.Sprintf("%d", a.rf.PulledIn/n),
+				fmt.Sprintf("%d", a.rf.Forced/n),
+				fmt.Sprintf("%.1f", float64(a.rf.BlockedCycles)/float64(n)/1000))
+		}
+	}
+	return t
 }
 
 // AblationAddressMapping compares the default row-interleaved bank mapping

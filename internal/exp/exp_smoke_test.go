@@ -67,3 +67,34 @@ func TestTelemetryTable(t *testing.T) {
 	}
 	t.Logf("\n%s", tab)
 }
+
+func TestAblationRefreshShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation sweep")
+	}
+	// Long enough that an all-bank obligation stream exhausts its 8-credit
+	// postpone window (8 x tREFI ~ 250K cycles) and hits the forced path;
+	// one mix keeps the sweep affordable.
+	tab := AblationRefresh(Scale{Insts: 150_000, Mixes4: 1})
+	t.Logf("\n%s", tab)
+	if len(tab.Rows) != 12 { // 4 variants x 3 refresh modes
+		t.Fatalf("want 12 rows, got %d", len(tab.Rows))
+	}
+	for _, row := range tab.Rows {
+		issued, blocked := row[3], row[7]
+		if row[1] == "off" {
+			if issued != "0" || blocked != "0.0" {
+				t.Errorf("refresh-off row has maintenance activity: %v", row)
+			}
+			continue
+		}
+		// Refresh on: the engine must have issued refreshes and charged
+		// requests for waiting behind them.
+		if issued == "0" {
+			t.Errorf("refresh-on row issued nothing: %v", row)
+		}
+		if blocked == "0.0" {
+			t.Errorf("refresh-on row blocked no request cycles: %v", row)
+		}
+	}
+}

@@ -19,6 +19,7 @@ import (
 	"fmt"
 
 	"padc/internal/dram"
+	"padc/internal/dram/refresh"
 	"padc/internal/memctrl/sched"
 	"padc/internal/telemetry"
 )
@@ -140,6 +141,14 @@ type Controller struct {
 	// neither computed per candidate nor maintained per tick.
 	useCrit, useUrgent, useRank bool
 
+	// refresh is the optional maintenance engine (nil when refresh is
+	// disabled); useRefresh records whether the stack contains the
+	// "refresh" rule, letting due refreshes contend with waiting requests
+	// in per-bank arbitration rather than waiting for idle banks or the
+	// forced deadline.
+	refresh    *refresh.Engine
+	useRefresh bool
+
 	banks    [][]*Request // waiting requests bucketed by bank
 	pending  int          // total waiting requests across buckets
 	inflight []*Request
@@ -196,17 +205,18 @@ func New(policy Policy, channel *dram.Channel, capacity int, state CoreState) *C
 // nil when no rule in the stack consults core accuracy.
 func NewStack(stack sched.Stack, channel *dram.Channel, capacity int, state CoreState) *Controller {
 	c := &Controller{
-		policy:    PolicyCustom,
-		stack:     stack,
-		channel:   channel,
-		capacity:  capacity,
-		state:     state,
-		useCrit:   stack.Uses("critical") || stack.Uses("rank"),
-		useUrgent: stack.Uses("urgent"),
-		useRank:   stack.Uses("rank"),
-		banks:     make([][]*Request, len(channel.Banks)),
-		rowWait:   make(map[rowKey]int),
-		ruleWins:  make([]uint64, len(stack.Rules())+1),
+		policy:     PolicyCustom,
+		stack:      stack,
+		channel:    channel,
+		capacity:   capacity,
+		state:      state,
+		useCrit:    stack.Uses("critical") || stack.Uses("rank"),
+		useUrgent:  stack.Uses("urgent"),
+		useRank:    stack.Uses("rank"),
+		useRefresh: stack.Uses("refresh"),
+		banks:      make([][]*Request, len(channel.Banks)),
+		rowWait:    make(map[rowKey]int),
+		ruleWins:   make([]uint64, len(stack.Rules())+1),
 	}
 	return c
 }
@@ -248,7 +258,36 @@ func (c *Controller) Instrument(tel *telemetry.Telemetry, id int) {
 	tel.CounterFunc(dpre+"/activations", func() uint64 { return ch.Activations })
 	tel.CounterFunc(dpre+"/precharges", func() uint64 { return ch.Precharges })
 	tel.CounterFunc(dpre+"/bus_busy_cycles", func() uint64 { return ch.BusBusyCycles })
+	if eng := c.refresh; eng != nil {
+		tel.CounterFunc(dpre+"/refreshes_issued", func() uint64 { return eng.Issued })
+		tel.CounterFunc(dpre+"/refreshes_postponed", func() uint64 { return eng.Postponed })
+		tel.CounterFunc(dpre+"/refreshes_pulled_in", func() uint64 { return eng.PulledIn })
+		tel.CounterFunc(dpre+"/refreshes_forced", func() uint64 { return eng.Forced })
+		tel.CounterFunc(dpre+"/refresh_blocked_cycles", func() uint64 { return eng.BlockedCycles })
+	}
 }
+
+// AttachRefresh puts the controller in charge of scheduling eng's refresh
+// obligations against its request traffic. Call before Instrument so the
+// refresh counters register; a nil engine (or one with Mode Off) leaves
+// refresh disabled. The engine's bank count must match the channel's in
+// per-bank mode.
+func (c *Controller) AttachRefresh(eng *refresh.Engine) {
+	if eng == nil || !eng.Config().Enabled() {
+		return
+	}
+	c.refresh = eng
+}
+
+// Refresh returns the attached maintenance engine, nil when refresh is
+// disabled.
+func (c *Controller) Refresh() *refresh.Engine { return c.refresh }
+
+// NeedsIdleTick reports whether the controller must be ticked even with an
+// empty request buffer — true once a refresh engine is attached, since
+// obligations accrue and idle banks can pull refreshes in with no request
+// traffic at all.
+func (c *Controller) NeedsIdleTick() bool { return c.refresh != nil }
 
 // Policy returns the legacy policy label this controller was built from,
 // or PolicyCustom for explicit rule stacks.
@@ -449,6 +488,9 @@ func (c *Controller) Tick(now uint64, ncores int) []*Request {
 	}
 	c.inflight = keep
 	c.done = done
+	if c.refresh != nil {
+		c.refreshPass(now)
+	}
 	if c.pending == 0 {
 		return done
 	}
@@ -462,7 +504,16 @@ func (c *Controller) Tick(now uint64, ncores int) []*Request {
 
 	for b := range c.banks {
 		bucket := c.banks[b]
-		if len(bucket) == 0 || !c.channel.BankReady(b, now) {
+		if len(bucket) == 0 {
+			continue
+		}
+		if c.refresh != nil && c.refresh.Blocked(b, now) {
+			// The bank is mid-refresh or past its forced deadline: requests
+			// wait, and the wait is charged to the refresh engine.
+			c.refresh.NoteBlocked()
+			continue
+		}
+		if !c.channel.BankReady(b, now) {
 			continue
 		}
 		bank := &c.channel.Banks[b]
@@ -483,9 +534,84 @@ func (c *Controller) Tick(now uint64, ncores int) []*Request {
 			}
 			c.ruleWins[decider]++
 		}
+		// With the "refresh" rule in the stack, a due refresh contends as a
+		// pseudo-candidate against the bucket's best request: the rules
+		// ahead of "refresh" decide which request classes it yields to.
+		// Per-bank mode only — an all-bank refresh cannot be granted from
+		// one bank's arbitration.
+		if c.useRefresh && c.refresh != nil && c.refresh.Mode() == refresh.PerBank &&
+			c.refresh.Due(b, now) {
+			rc := sched.Cand{IsRefresh: true, Seq: ^uint64(0)}
+			if better, by := c.stack.Better(rc, best); better {
+				c.ruleWins[by]++
+				c.startRefresh(b, now)
+				continue
+			}
+		}
 		c.issue(b, bestIdx, now)
 	}
 	return done
+}
+
+// refreshPass runs the maintenance engine's per-tick duties before request
+// arbitration: accrue obligations, fire forced refreshes whose postpone
+// credit ran out, and opportunistically refresh idle banks — due refreshes
+// when the bank's bucket is empty, early pull-ins (bounded by the credit
+// window) when the whole controller is idle.
+func (c *Controller) refreshPass(now uint64) {
+	eng := c.refresh
+	eng.Advance(now)
+	idle := c.pending == 0 && len(c.inflight) == 0
+	if eng.Mode() == refresh.AllBank {
+		// One obligation covers the rank; it fires only when every bank is
+		// ready. Engine.Blocked holds all banks once the deadline passes,
+		// so in-flight accesses drain and the rank-wide gap opens.
+		if eng.Refreshing(0, now) {
+			return
+		}
+		for b := range c.channel.Banks {
+			if !c.channel.BankReady(b, now) {
+				return
+			}
+		}
+		if eng.MustRefresh(0) || (idle && (eng.Due(0, now) || eng.CanPullIn(0))) {
+			until := eng.Start(0, now)
+			for b := range c.channel.Banks {
+				c.channel.Refresh(b, until)
+			}
+			if c.tel != nil {
+				c.tel.Emit(telemetry.Event{
+					Cycle: now, Kind: telemetry.EvRefresh, A: until,
+					Core: -1, Chan: c.telID, Bank: -1,
+				})
+			}
+		}
+		return
+	}
+	for b := range c.channel.Banks {
+		if eng.Refreshing(b, now) || !c.channel.BankReady(b, now) {
+			continue
+		}
+		switch {
+		case eng.MustRefresh(b):
+			// Forced deadline: the refresh preempts any waiting requests.
+			c.startRefresh(b, now)
+		case len(c.banks[b]) == 0 && (eng.Due(b, now) || (idle && eng.CanPullIn(b))):
+			c.startRefresh(b, now)
+		}
+	}
+}
+
+// startRefresh issues a per-bank refresh to bank b, blocking it for tRFCpb.
+func (c *Controller) startRefresh(b int, now uint64) {
+	until := c.refresh.Start(b, now)
+	c.channel.Refresh(b, until)
+	if c.tel != nil {
+		c.tel.Emit(telemetry.Event{
+			Cycle: now, Kind: telemetry.EvRefresh, A: until,
+			Core: -1, Chan: c.telID, Bank: int16(b),
+		})
+	}
 }
 
 // issue removes bucket[idx] from the waiting set and schedules it on the

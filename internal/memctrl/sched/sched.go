@@ -33,6 +33,12 @@ type Cand struct {
 	Hit      bool // request targets its bank's open row
 	Critical bool // demand, or prefetch of an accurate core (rule 1)
 	Urgent   bool // demand of a core whose prefetching is inaccurate (rule 3)
+
+	// IsRefresh marks the pseudo-candidate the controller synthesizes for a
+	// bank with a due refresh when the stack contains the "refresh" rule.
+	// Every other field is zero, so rules ahead of "refresh" in the stack
+	// define exactly which request classes a due refresh yields to.
+	IsRefresh bool
 }
 
 // Rule is one priority comparator in a stack. Compare returns a positive
@@ -88,6 +94,17 @@ type prefetchFirstRule struct{}
 func (prefetchFirstRule) Name() string          { return "prefetchfirst" }
 func (prefetchFirstRule) Compare(a, b Cand) int { return boolCmp(a.Pref, b.Pref) }
 
+// refreshRule arbitrates a due refresh against waiting requests: the
+// refresh pseudo-candidate outranks any request once no rule ahead of it
+// in the stack objects. Placing the rule after critical/rowhit, say,
+// yields the paper-style "refresh when the bank has no urgent work"
+// policy; stacks without the rule never see a refresh candidate (the
+// engine then refreshes only idle banks and at forced deadlines).
+type refreshRule struct{}
+
+func (refreshRule) Name() string          { return "refresh" }
+func (refreshRule) Compare(a, b Cand) int { return boolCmp(a.IsRefresh, b.IsRefresh) }
+
 // rankRule is the §6.5 shortest-job ranking stage: among critical
 // requests, cores with fewer outstanding critical requests first. A
 // non-critical request competes with rank 0, matching the paper's rule
@@ -136,6 +153,7 @@ var ruleByName = map[string]Rule{
 	"urgent":        urgentRule{},
 	"demandfirst":   demandFirstRule{},
 	"prefetchfirst": prefetchFirstRule{},
+	"refresh":       refreshRule{},
 	"rank":          rankRule{},
 	"fcfs":          fcfsRule{},
 }

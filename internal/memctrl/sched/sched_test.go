@@ -163,3 +163,34 @@ func TestStackIsStrictTotalOrder(t *testing.T) {
 		}
 	}
 }
+
+func TestRefreshRuleOrdering(t *testing.T) {
+	s, err := Parse("rules:critical,rowhit,refresh,fcfs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	refresh := Cand{IsRefresh: true, Seq: ^uint64(0)}
+	crit := Cand{Critical: true, Seq: 5}
+	hit := Cand{Hit: true, Seq: 7}
+	plain := Cand{Seq: 1}
+
+	if better, _ := s.Better(refresh, crit); better {
+		t.Error("refresh must yield to a critical request placed above it")
+	}
+	if better, _ := s.Better(refresh, hit); better {
+		t.Error("refresh must yield to a row-hit placed above it")
+	}
+	better, by := s.Better(refresh, plain)
+	if !better {
+		t.Error("refresh must beat a plain request below it in the stack")
+	}
+	if s.DeciderName(by) != "refresh" {
+		t.Errorf("decider = %s, want refresh", s.DeciderName(by))
+	}
+	// Stacks without the rule never prefer the pseudo-candidate: its Seq
+	// is the maximum, so even the FCFS fallback rejects it.
+	plainStack := MustParse("rules:rowhit,fcfs")
+	if better, _ := plainStack.Better(refresh, plain); better {
+		t.Error("a stack without the refresh rule preferred the pseudo-candidate")
+	}
+}

@@ -98,6 +98,8 @@ type JobResult struct {
 	Prefetcher string   `json:"prefetcher"`
 	Promotion  float64  `json:"promotion,omitempty"`
 	Drop       uint64   `json:"drop,omitempty"`
+	Refresh    string   `json:"refresh,omitempty"` // "" = off
+	Page       string   `json:"page,omitempty"`    // "" = open
 	Mix        string   `json:"mix"`
 	Workloads  []string `json:"workloads"`
 
@@ -280,6 +282,7 @@ func runJob(j Job, verify bool) (out JobResult) {
 		Index: j.Index, Key: j.Key, Seed: j.Seed,
 		Policy: j.Policy, Prefetcher: j.Prefetcher,
 		Promotion: j.Promotion, Drop: j.Drop,
+		Refresh: j.Refresh, Page: j.Page,
 		Mix: j.Mix, Workloads: j.Workloads,
 	}
 	start := time.Now()
@@ -324,6 +327,15 @@ func (r *JobResult) fill(res stats.Results) {
 	tel := map[string]float64{
 		"buffer_rejects": float64(res.BufferRejects),
 		"useful_rowhits": float64(res.UsefulRowHits),
+	}
+	// Refresh counters appear only when the maintenance engine ran, so
+	// refresh-off artifacts stay byte-identical to their pre-refresh form.
+	if rf := res.Refresh; rf.Issued > 0 || rf.Postponed > 0 {
+		tel["refreshes_issued"] = float64(rf.Issued)
+		tel["refreshes_postponed"] = float64(rf.Postponed)
+		tel["refreshes_pulled_in"] = float64(rf.PulledIn)
+		tel["refreshes_forced"] = float64(rf.Forced)
+		tel["refresh_blocked_cycles"] = float64(rf.BlockedCycles)
 	}
 	for i, c := range res.PerCore {
 		ipc := c.IPC()

@@ -21,6 +21,8 @@ import (
 	"strings"
 
 	"padc/internal/core"
+	"padc/internal/dram"
+	"padc/internal/dram/refresh"
 	"padc/internal/memctrl"
 	"padc/internal/memctrl/sched"
 	"padc/internal/sim"
@@ -61,6 +63,15 @@ type Spec struct {
 	// DropCycles optionally sweeps a flat APD drop threshold replacing the
 	// Table 6 ladder; a 0 entry keeps the default ladder.
 	DropCycles []uint64 `json:"drop_cycles,omitempty"`
+
+	// Refresh optionally sweeps the DRAM maintenance engine: "off" (or ""),
+	// "per-bank", "all-bank". Default: off, matching the historical
+	// simulator behavior.
+	Refresh []string `json:"refresh,omitempty"`
+
+	// PagePolicies optionally sweeps row-buffer management: "open" (or ""),
+	// "closed", "adaptive". Default: open.
+	PagePolicies []string `json:"page_policies,omitempty"`
 
 	// Workloads lists explicit benchmark mixes (each inner list is one mix,
 	// one benchmark per core). Mixes additionally draws that many random
@@ -107,7 +118,28 @@ func (s Spec) withDefaults() Spec {
 	if len(s.DropCycles) == 0 {
 		s.DropCycles = []uint64{0}
 	}
+	// The refresh and page axes normalize to "" (their disabled defaults)
+	// so job keys and artifacts stay byte-identical for specs that never
+	// mention them.
+	s.Refresh = normalizeAxis(s.Refresh, "off")
+	s.PagePolicies = normalizeAxis(s.PagePolicies, "open")
 	return s
+}
+
+// normalizeAxis fills an empty axis with the single default value and
+// rewrites the default's explicit spelling to "" without mutating the
+// caller's slice.
+func normalizeAxis(vals []string, defaultName string) []string {
+	if len(vals) == 0 {
+		return []string{""}
+	}
+	out := make([]string, len(vals))
+	for i, v := range vals {
+		if v != defaultName {
+			out[i] = v
+		}
+	}
+	return out
 }
 
 // Validate reports the first problem with the spec: unknown policy or
@@ -136,6 +168,16 @@ func (s Spec) Validate() error {
 			return fmt.Errorf("runner: promotion threshold must be in [0,1], got %g", th)
 		}
 	}
+	for _, r := range d.Refresh {
+		if _, err := refresh.ParseMode(r); err != nil {
+			return fmt.Errorf("runner: %v", err)
+		}
+	}
+	for _, p := range d.PagePolicies {
+		if _, err := dram.ParsePagePolicy(p); err != nil {
+			return fmt.Errorf("runner: %v", err)
+		}
+	}
 	for mi, mix := range d.Workloads {
 		if len(mix) == 0 || len(mix) > d.Cores {
 			return fmt.Errorf("runner: workload mix %d needs 1..%d benchmarks, got %d", mi, d.Cores, len(mix))
@@ -150,7 +192,8 @@ func (s Spec) Validate() error {
 	if nmixes == 0 {
 		return fmt.Errorf("runner: spec yields no workload mixes (set workloads or mixes)")
 	}
-	n := len(d.Policies) * len(d.Prefetchers) * len(d.PromotionThresholds) * len(d.DropCycles) * nmixes
+	n := len(d.Policies) * len(d.Prefetchers) * len(d.PromotionThresholds) * len(d.DropCycles) *
+		len(d.Refresh) * len(d.PagePolicies) * nmixes
 	if n > MaxJobs {
 		return fmt.Errorf("runner: sweep expands to %d jobs, limit %d", n, MaxJobs)
 	}
@@ -168,6 +211,8 @@ type Job struct {
 	Prefetcher string
 	Promotion  float64 // 0 = paper default
 	Drop       uint64  // 0 = Table 6 ladder
+	Refresh    string  // "" = off
+	Page       string  // "" = open
 	Mix        string  // mix label ("swim+art" or "rnd03")
 	Workloads  []string
 
@@ -221,32 +266,42 @@ func (s Spec) Expand() ([]Job, error) {
 			pfKind, _ := prefetcherKind(pf)
 			for _, promo := range d.PromotionThresholds {
 				for _, drop := range d.DropCycles {
-					for _, mx := range mixes {
-						cfg := sim.Baseline(d.Cores)
-						cfg.TargetInsts = d.Insts
-						cfg.PADC = core.DefaultConfig()
-						cfg.Prefetcher = pfKind
-						mutate(&cfg)
-						if promo > 0 {
-							cfg.PADC.PromotionThreshold = promo
+					for _, rf := range d.Refresh {
+						rfMode, _ := refresh.ParseMode(rf)
+						for _, page := range d.PagePolicies {
+							pagePol, _ := dram.ParsePagePolicy(page)
+							for _, mx := range mixes {
+								cfg := sim.Baseline(d.Cores)
+								cfg.TargetInsts = d.Insts
+								cfg.PADC = core.DefaultConfig()
+								cfg.Prefetcher = pfKind
+								mutate(&cfg)
+								if promo > 0 {
+									cfg.PADC.PromotionThreshold = promo
+								}
+								if drop > 0 {
+									cfg.PADC.DropLadder = []core.DropLevel{{AccuracyBelow: 1.01, Cycles: drop}}
+								}
+								cfg.DRAM.Refresh.Mode = rfMode
+								cfg.DRAM.Page = pagePol
+								cfg.Workload = append([]workload.Profile(nil), mx.profs...)
+								idx := len(jobs)
+								jobs = append(jobs, Job{
+									Index:      idx,
+									Key:        jobKey(pol, pf, promo, drop, rf, page, mx.label),
+									Seed:       splitmix(d.Seed, uint64(idx)|1<<32),
+									Policy:     pol,
+									Prefetcher: pf,
+									Promotion:  promo,
+									Drop:       drop,
+									Refresh:    rf,
+									Page:       page,
+									Mix:        mx.label,
+									Workloads:  namesOf(mx.profs),
+									Config:     cfg,
+								})
+							}
 						}
-						if drop > 0 {
-							cfg.PADC.DropLadder = []core.DropLevel{{AccuracyBelow: 1.01, Cycles: drop}}
-						}
-						cfg.Workload = append([]workload.Profile(nil), mx.profs...)
-						idx := len(jobs)
-						jobs = append(jobs, Job{
-							Index:      idx,
-							Key:        jobKey(pol, pf, promo, drop, mx.label),
-							Seed:       splitmix(d.Seed, uint64(idx)|1<<32),
-							Policy:     pol,
-							Prefetcher: pf,
-							Promotion:  promo,
-							Drop:       drop,
-							Mix:        mx.label,
-							Workloads:  namesOf(mx.profs),
-							Config:     cfg,
-						})
 					}
 				}
 			}
@@ -264,13 +319,21 @@ func namesOf(profs []workload.Profile) []string {
 }
 
 // jobKey renders the canonical grid coordinates the merge sorts on.
-func jobKey(pol, pf string, promo float64, drop uint64, mix string) string {
+// Default-valued axes are omitted, so keys (and sort order) from sweeps
+// predating an axis never change.
+func jobKey(pol, pf string, promo float64, drop uint64, rf, page, mix string) string {
 	parts := []string{"policy=" + pol, "pf=" + pf}
 	if promo > 0 {
 		parts = append(parts, fmt.Sprintf("promo=%.2f", promo))
 	}
 	if drop > 0 {
 		parts = append(parts, fmt.Sprintf("drop=%d", drop))
+	}
+	if rf != "" {
+		parts = append(parts, "refresh="+rf)
+	}
+	if page != "" {
+		parts = append(parts, "page="+page)
 	}
 	parts = append(parts, "mix="+mix)
 	return strings.Join(parts, "/")

@@ -221,3 +221,84 @@ func FuzzSpecJSON(f *testing.F) {
 		}
 	})
 }
+
+func TestRefreshAndPageAxes(t *testing.T) {
+	spec := Spec{
+		Cores:        2,
+		Workloads:    [][]string{{"swim"}},
+		Policies:     []string{"padc"},
+		Refresh:      []string{"off", "per-bank", "all-bank"},
+		PagePolicies: []string{"open", "closed", "adaptive"},
+	}
+	jobs, err := spec.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(jobs) != 9 {
+		t.Fatalf("want 3x3 = 9 jobs, got %d", len(jobs))
+	}
+	sawEnabled := false
+	for _, j := range jobs {
+		rf := j.Config.DRAM.Refresh
+		switch j.Refresh {
+		case "":
+			if rf.Enabled() {
+				t.Errorf("%s: refresh enabled for the off axis value", j.Key)
+			}
+			if strings.Contains(j.Key, "refresh=") {
+				t.Errorf("default refresh leaked into key %q", j.Key)
+			}
+		case "per-bank", "all-bank":
+			sawEnabled = true
+			if !rf.Enabled() || rf.Mode.String() != j.Refresh {
+				t.Errorf("%s: refresh mode %v not applied", j.Key, rf.Mode)
+			}
+			if !strings.Contains(j.Key, "refresh="+j.Refresh) {
+				t.Errorf("refresh axis missing from key %q", j.Key)
+			}
+		default:
+			t.Errorf("unexpected normalized refresh value %q", j.Refresh)
+		}
+		switch j.Page {
+		case "":
+			if j.Config.DRAM.EffectivePage().String() != "open" {
+				t.Errorf("%s: default page policy not open", j.Key)
+			}
+			if strings.Contains(j.Key, "page=") {
+				t.Errorf("default page leaked into key %q", j.Key)
+			}
+		case "closed", "adaptive":
+			if j.Config.DRAM.Page.String() != j.Page {
+				t.Errorf("%s: page policy %v not applied", j.Key, j.Config.DRAM.Page)
+			}
+			if !strings.Contains(j.Key, "page="+j.Page) {
+				t.Errorf("page axis missing from key %q", j.Key)
+			}
+		default:
+			t.Errorf("unexpected normalized page value %q", j.Page)
+		}
+	}
+	if !sawEnabled {
+		t.Fatal("no refresh-enabled job expanded")
+	}
+
+	// The explicit-default spelling and the omitted axis produce identical
+	// job keys (golden-compatibility contract).
+	plain := Spec{Cores: 2, Workloads: [][]string{{"swim"}}, Policies: []string{"padc"}}
+	spelled := Spec{Cores: 2, Workloads: [][]string{{"swim"}}, Policies: []string{"padc"},
+		Refresh: []string{"off"}, PagePolicies: []string{"open"}}
+	a, _ := plain.Expand()
+	b, _ := spelled.Expand()
+	if a[0].Key != b[0].Key {
+		t.Fatalf("explicit defaults changed the key: %q vs %q", a[0].Key, b[0].Key)
+	}
+
+	for name, in := range map[string]string{
+		"bad refresh": `{"mixes": 1, "refresh": ["hourly"]}`,
+		"bad page":    `{"mixes": 1, "page_policies": ["ajar"]}`,
+	} {
+		if _, err := ParseSpec([]byte(in)); err == nil {
+			t.Errorf("%s: spec accepted", name)
+		}
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"padc/internal/cpu"
+	"padc/internal/dram/refresh"
 	"padc/internal/memctrl"
 	"padc/internal/stats"
 	"padc/internal/telemetry"
@@ -432,5 +433,75 @@ func TestLifecycleSpansRecorded(t *testing.T) {
 		if sp.Row == lifecycle.RowNone {
 			t.Fatalf("serviced span has no row outcome: %+v", sp)
 		}
+	}
+}
+
+func TestRefreshIntegration(t *testing.T) {
+	base := func() Config {
+		cfg := quickCfg(2, "swim", "art")
+		cfg.TargetInsts = 80_000
+		return cfg
+	}
+	off := mustRun(t, base())
+	if off.Refresh != (stats.RefreshStats{}) {
+		t.Fatalf("refresh-off run reports maintenance activity: %+v", off.Refresh)
+	}
+
+	for _, mode := range []refresh.Mode{refresh.PerBank, refresh.AllBank} {
+		cfg := base()
+		cfg.DRAM.Refresh.Mode = mode
+		// Shrink the window so both modes exercise postpone, pull-in and
+		// the forced deadline within a short run.
+		cfg.DRAM.Refresh.TREFI = 4_000
+		cfg.DRAM.Refresh.MaxPostpone = 4
+
+		sys, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := sys.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		rf := res.Refresh
+		if rf.Issued == 0 {
+			t.Errorf("%v: no refreshes issued in %d cycles", mode, res.Cycles)
+		}
+		if rf.BlockedCycles == 0 {
+			t.Errorf("%v: no request ever waited behind a refresh", mode)
+		}
+		if res.Cycles <= off.Cycles {
+			t.Errorf("%v: refresh run finished in %d cycles, refresh-off took %d — maintenance should cost time",
+				mode, res.Cycles, off.Cycles)
+		}
+		// Conservation: per unit, issued refreshes track elapsed tREFI
+		// windows within the credit band.
+		for i, ctrl := range sys.ctrls {
+			eng := ctrl.Refresh()
+			if eng == nil {
+				t.Fatalf("%v: controller %d has no engine attached", mode, i)
+			}
+			if err := eng.Audit(res.Cycles); err != nil {
+				t.Errorf("%v: controller %d: %v", mode, i, err)
+			}
+		}
+	}
+}
+
+func TestRefreshDisabledBehaviorUnchanged(t *testing.T) {
+	// An all-zero refresh config must reproduce the historical simulator
+	// bit for bit: same cycles, same per-core results.
+	run := func(mut func(*Config)) stats.Results {
+		cfg := quickCfg(2, "libquantum", "milc")
+		cfg.TargetInsts = 60_000
+		if mut != nil {
+			mut(&cfg)
+		}
+		return mustRun(t, cfg)
+	}
+	plain := run(nil)
+	zeroed := run(func(c *Config) { c.DRAM.Refresh = refresh.Config{} })
+	if plain.Cycles != zeroed.Cycles || !reflect.DeepEqual(plain.PerCore, zeroed.PerCore) {
+		t.Fatalf("zero-valued refresh config changed results: %d vs %d cycles", plain.Cycles, zeroed.Cycles)
 	}
 }

@@ -7,6 +7,7 @@ import (
 	"padc/internal/core"
 	"padc/internal/cpu"
 	"padc/internal/dram"
+	"padc/internal/dram/refresh"
 	"padc/internal/memctrl"
 	"padc/internal/prefetch"
 	"padc/internal/stats"
@@ -111,6 +112,9 @@ func New(cfg Config) (*System, error) {
 	for i := range s.chans {
 		s.chans[i] = dram.NewChannel(cfg.DRAM)
 		s.ctrls[i] = memctrl.NewStack(stack, s.chans[i], cfg.BufferSlots, st)
+		if cfg.DRAM.Refresh.Enabled() {
+			s.ctrls[i].AttachRefresh(refresh.NewEngine(cfg.DRAM.Refresh, cfg.DRAM.Banks))
+		}
 	}
 
 	var sharedL2 *cache.Cache
@@ -627,7 +631,9 @@ func (s *System) Run() (stats.Results, error) {
 
 		if now%dramEvery == 0 {
 			for _, ctrl := range s.ctrls {
-				if ctrl.Occupancy() == 0 {
+				// A refresh engine accrues obligations and pulls refreshes
+				// into idle banks, so it must tick even with an empty buffer.
+				if ctrl.Occupancy() == 0 && !ctrl.NeedsIdleTick() {
 					continue
 				}
 				for _, r := range ctrl.Tick(now, cfg.Cores) {
@@ -712,6 +718,13 @@ func (s *System) results() stats.Results {
 	}
 	for _, ctrl := range s.ctrls {
 		r.BufferRejects += ctrl.RejectsFull
+		if eng := ctrl.Refresh(); eng != nil {
+			r.Refresh.Issued += eng.Issued
+			r.Refresh.Postponed += eng.Postponed
+			r.Refresh.PulledIn += eng.PulledIn
+			r.Refresh.Forced += eng.Forced
+			r.Refresh.BlockedCycles += eng.BlockedCycles
+		}
 	}
 	if s.histUseful != nil {
 		// Prefetches still pending classification at the end of the run

@@ -78,6 +78,16 @@ func (c CoreResult) COV() float64 {
 	return float64(c.PrefUsed) / den
 }
 
+// RefreshStats aggregates the DRAM maintenance engine's counters across
+// channels; all-zero when refresh is disabled.
+type RefreshStats struct {
+	Issued        uint64 // refreshes issued
+	Postponed     uint64 // obligations that slipped a full tREFI window
+	PulledIn      uint64 // refreshes issued early into idle banks
+	Forced        uint64 // refreshes fired on the exhausted-credit deadline
+	BlockedCycles uint64 // bank-cycles requests waited behind refresh
+}
+
 // BusTraffic is the system's transferred cache lines by origin.
 type BusTraffic struct {
 	Demand      uint64
@@ -101,6 +111,8 @@ type Results struct {
 
 	Dropped       uint64
 	BufferRejects uint64
+
+	Refresh RefreshStats // DRAM maintenance totals (zero when refresh is off)
 
 	// Optional traces for Figure 4.
 	ServiceHistUseful  []uint64 // histogram buckets of service time, useful prefetches

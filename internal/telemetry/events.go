@@ -28,6 +28,9 @@ const (
 	EvMSHRStall
 	// EvReject: a request was rejected by a full request buffer.
 	EvReject
+	// EvRefresh: the maintenance engine refreshed a bank (Bank >= 0) or a
+	// whole rank (Bank = -1). A = the cycle the refresh completes.
+	EvRefresh
 )
 
 // String implements fmt.Stringer.
@@ -49,6 +52,8 @@ func (k EventKind) String() string {
 		return "mshr-stall"
 	case EvReject:
 		return "reject"
+	case EvRefresh:
+		return "refresh"
 	default:
 		return "unknown"
 	}

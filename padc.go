@@ -21,6 +21,8 @@ import (
 
 	"padc/internal/core"
 	"padc/internal/cpu"
+	"padc/internal/dram"
+	"padc/internal/dram/refresh"
 	"padc/internal/memctrl"
 	"padc/internal/sim"
 	"padc/internal/stats"
@@ -94,6 +96,20 @@ type SystemConfig struct {
 	ClosedRow   bool
 	Permutation bool // permutation-based bank interleaving
 	Runahead    bool
+
+	// RefreshMode enables the DRAM maintenance engine: "" or "off"
+	// (default, no refresh), "per-bank" (staggered REFpb, tRFCpb per
+	// bank), or "all-bank" (rank-wide REF, tRFC across every bank). The
+	// engine follows the JEDEC postpone/pull-in credit window (up to 8
+	// refreshes either way) with a forced-refresh deadline when credits
+	// run out.
+	RefreshMode string
+
+	// PagePolicy selects row-buffer management: "" or "open" (default),
+	// "closed", or "adaptive" (per-bank keep-open/precharge predictor
+	// trained on recent row-buffer outcomes). "closed" is equivalent to
+	// the legacy ClosedRow flag.
+	PagePolicy string
 
 	TargetInsts uint64 // instructions each core retires before stats freeze
 
@@ -196,6 +212,16 @@ func (c SystemConfig) toSim() (sim.Config, error) {
 	}
 	cfg.DRAM.ClosedRow = c.ClosedRow
 	cfg.DRAM.Permutation = c.Permutation
+	mode, err := refresh.ParseMode(c.RefreshMode)
+	if err != nil {
+		return sim.Config{}, err
+	}
+	cfg.DRAM.Refresh.Mode = mode
+	page, err := dram.ParsePagePolicy(c.PagePolicy)
+	if err != nil {
+		return sim.Config{}, err
+	}
+	cfg.DRAM.Page = page
 	cfg.Core.Runahead = c.Runahead
 	if c.TargetInsts > 0 {
 		cfg.TargetInsts = c.TargetInsts
@@ -205,6 +231,116 @@ func (c SystemConfig) toSim() (sim.Config, error) {
 	cfg.Profile = c.Profile
 	// Full validation (including the workload) happens in sim.Run.
 	return cfg, nil
+}
+
+// ResolvedCache is one cache level's resolved shape.
+type ResolvedCache struct {
+	Bytes     uint64 `json:"bytes"`
+	Ways      int    `json:"ways"`
+	LineBytes uint64 `json:"line_bytes"`
+	HitCycles uint64 `json:"hit_cycles"`
+}
+
+// ResolvedRefresh is the maintenance engine's resolved timing. The timing
+// fields are omitted when Mode is "off" (the engine never runs).
+type ResolvedRefresh struct {
+	Mode        string `json:"mode"`
+	TREFI       uint64 `json:"trefi,omitempty"`
+	TRFC        uint64 `json:"trfc,omitempty"`
+	TRFCpb      uint64 `json:"trfcpb,omitempty"`
+	MaxPostpone int    `json:"max_postpone,omitempty"`
+}
+
+// ResolvedDRAM is the memory system's resolved geometry, timing (in
+// processor cycles), and management policies.
+type ResolvedDRAM struct {
+	Channels    int    `json:"channels"`
+	Banks       int    `json:"banks"`
+	RowBytes    uint64 `json:"row_bytes"`
+	LineBytes   uint64 `json:"line_bytes"`
+	Permutation bool   `json:"permutation"`
+	PagePolicy  string `json:"page_policy"`
+
+	TRP   uint64 `json:"trp"`
+	TRCD  uint64 `json:"trcd"`
+	CL    uint64 `json:"cl"`
+	Burst uint64 `json:"burst"`
+
+	Refresh ResolvedRefresh `json:"refresh"`
+}
+
+// ResolvedConfig is the fully-lowered view of a SystemConfig: every
+// default filled in, every enum reduced to its canonical spelling, and
+// the scheduling policy expanded into the rule stack it runs as. padcsim
+// -dump-config prints it as JSON so scripts and sweep specs can pin the
+// exact machine a flag combination produces.
+type ResolvedConfig struct {
+	Cores       int    `json:"cores"`
+	TargetInsts uint64 `json:"target_insts"`
+
+	RuleStack  string `json:"rule_stack"`
+	APD        bool   `json:"apd"`
+	Urgency    bool   `json:"urgency"`
+	Prefetcher string `json:"prefetcher"`
+	Filter     string `json:"filter"`
+
+	DRAM        ResolvedDRAM  `json:"dram"`
+	L1          ResolvedCache `json:"l1"`
+	L2          ResolvedCache `json:"l2"`
+	SharedL2    bool          `json:"shared_l2"`
+	MSHR        int           `json:"mshr_per_cache"`
+	BufferSlots int           `json:"buffer_slots"`
+}
+
+// Describe lowers the config exactly as Run would and reports the
+// resolved machine, or the configuration error Run would hit.
+func (c SystemConfig) Describe() (ResolvedConfig, error) {
+	cfg, err := c.toSim()
+	if err != nil {
+		return ResolvedConfig{}, err
+	}
+	stack, err := memctrl.ResolveStack(cfg.Policy, cfg.Rules)
+	if err != nil {
+		return ResolvedConfig{}, err
+	}
+	rc := ResolvedConfig{
+		Cores:       cfg.Cores,
+		TargetInsts: cfg.TargetInsts,
+		RuleStack:   stack.String(),
+		APD:         cfg.PADC.EnableAPD,
+		Urgency:     cfg.PADC.EnableUrgency,
+		Prefetcher:  cfg.Prefetcher.String(),
+		Filter:      cfg.Filter.String(),
+		DRAM: ResolvedDRAM{
+			Channels:    cfg.DRAM.Channels,
+			Banks:       cfg.DRAM.Banks,
+			RowBytes:    cfg.DRAM.RowBytes,
+			LineBytes:   cfg.DRAM.LineBytes,
+			Permutation: cfg.DRAM.Permutation,
+			PagePolicy:  cfg.DRAM.EffectivePage().String(),
+			TRP:         cfg.DRAM.Timing.TRP,
+			TRCD:        cfg.DRAM.Timing.TRCD,
+			CL:          cfg.DRAM.Timing.CL,
+			Burst:       cfg.DRAM.Timing.Burst,
+			Refresh:     ResolvedRefresh{Mode: refresh.Off.String()},
+		},
+		L1:          ResolvedCache(cfg.L1),
+		L2:          ResolvedCache(cfg.L2),
+		SharedL2:    cfg.SharedL2,
+		MSHR:        cfg.MSHR,
+		BufferSlots: cfg.BufferSlots,
+	}
+	if cfg.DRAM.Refresh.Enabled() {
+		r := cfg.DRAM.Refresh.Resolved()
+		rc.DRAM.Refresh = ResolvedRefresh{
+			Mode:        r.Mode.String(),
+			TREFI:       r.TREFI,
+			TRFC:        r.TRFC,
+			TRFCpb:      r.TRFCpb,
+			MaxPostpone: r.MaxPostpone,
+		}
+	}
+	return rc, nil
 }
 
 // CoreResult is one core's outcome.
@@ -233,6 +369,14 @@ type Result struct {
 	RowHitRate float64
 	RBHU       float64
 	Dropped    uint64
+
+	// DRAM maintenance totals, all zero unless RefreshMode enabled the
+	// refresh engine.
+	RefreshesIssued      uint64
+	RefreshesPostponed   uint64
+	RefreshesPulledIn    uint64
+	RefreshesForced      uint64
+	RefreshBlockedCycles uint64
 }
 
 // BusTotal returns total transferred cache lines.
@@ -274,6 +418,12 @@ func lower(res stats.Results) Result {
 		RowHitRate: res.RBH(),
 		RBHU:       res.RBHU(),
 		Dropped:    res.Dropped,
+
+		RefreshesIssued:      res.Refresh.Issued,
+		RefreshesPostponed:   res.Refresh.Postponed,
+		RefreshesPulledIn:    res.Refresh.PulledIn,
+		RefreshesForced:      res.Refresh.Forced,
+		RefreshBlockedCycles: res.Refresh.BlockedCycles,
 	}
 	for _, c := range res.PerCore {
 		out.Cores = append(out.Cores, CoreResult{
