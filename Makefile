@@ -1,0 +1,24 @@
+GO ?= go
+
+.PHONY: build test race bench-snapshot smoke-sweepd
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) build ./... && $(GO) test ./...
+
+race:
+	$(GO) test -race ./internal/sweepd/ ./internal/runner/ ./internal/telemetry/
+
+# Refresh the checked-in benchmark snapshot (BENCH_sweep.json): the
+# parallel sweep engine and the controller-tick hot path. Run on an idle
+# machine; the file records environment alongside the numbers.
+bench-snapshot:
+	$(GO) run ./scripts/benchsnap -out BENCH_sweep.json
+
+# End-to-end service smoke: build padcsweepd, submit a campaign over
+# HTTP, SIGKILL the server mid-run, resume, and verify the artifact is
+# byte-identical to the in-process `padcsim -sweep` run.
+smoke-sweepd:
+	./scripts/smoke_sweepd.sh

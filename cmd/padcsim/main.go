@@ -33,6 +33,13 @@
 //
 //	padcsim -sweep spec.json -jobs 8 -verify -sweep-csv out.csv
 //
+// With -sweep-remote the same spec runs on a padcsweepd server instead
+// of in-process: the spec is submitted as a campaign, rows stream back
+// live, and the artifacts are downloaded verbatim — byte-identical to
+// the in-process run:
+//
+//	padcsim -sweep spec.json -sweep-remote http://127.0.0.1:8080 -sweep-csv out.csv
+//
 // DRAM management (with -bench): -refresh enables the maintenance engine
 // (per-bank REFpb or all-bank REF with the JEDEC postpone/pull-in credit
 // window), -page selects the row-buffer policy (open, closed, or the
@@ -45,6 +52,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -57,6 +65,7 @@ import (
 
 	"padc"
 	"padc/internal/exp"
+	"padc/internal/sweepd"
 	"padc/internal/telemetry"
 	"padc/internal/telemetry/lifecycle"
 )
@@ -87,11 +96,12 @@ func main() {
 		breakdownOut = flag.String("breakdown", "", "write the per-core latency decomposition as CSV to this file")
 		httpAddr     = flag.String("http", "", "serve Prometheus metrics at /metrics and net/http/pprof on this address (e.g. :8080)")
 
-		sweepSpec = flag.String("sweep", "", "run the JSON sweep spec in this file on the worker pool")
-		jobs      = flag.Int("jobs", 0, "worker-pool size for -sweep and -exp (0 = GOMAXPROCS)")
-		verify    = flag.Bool("verify", false, "with -sweep: check accounting invariants on every job")
-		sweepCSV  = flag.String("sweep-csv", "", "with -sweep: write the merged jobs as CSV to this file")
-		sweepJSON = flag.String("sweep-json", "", "with -sweep: write the merged sweep as JSON to this file")
+		sweepSpec   = flag.String("sweep", "", "run the JSON sweep spec in this file on the worker pool")
+		sweepRemote = flag.String("sweep-remote", "", "with -sweep: run the spec on this padcsweepd server instead of in-process")
+		jobs        = flag.Int("jobs", 0, "worker-pool size for -sweep and -exp (0 = GOMAXPROCS)")
+		verify      = flag.Bool("verify", false, "with -sweep: check accounting invariants on every job")
+		sweepCSV    = flag.String("sweep-csv", "", "with -sweep: write the merged jobs as CSV to this file")
+		sweepJSON   = flag.String("sweep-json", "", "with -sweep: write the merged sweep as JSON to this file")
 	)
 	flag.Parse()
 	if *jobs > 0 {
@@ -117,7 +127,11 @@ func main() {
 			fatal(err)
 		}
 	case *sweepSpec != "":
-		if err := runSweep(*sweepSpec, *verify, *sweepCSV, *sweepJSON); err != nil {
+		if *sweepRemote != "" {
+			if err := runSweepRemote(*sweepRemote, *sweepSpec, *jobs, *verify, *sweepCSV, *sweepJSON); err != nil {
+				fatal(err)
+			}
+		} else if err := runSweep(*sweepSpec, *verify, *sweepCSV, *sweepJSON); err != nil {
 			fatal(err)
 		}
 	case *expID == "all":
@@ -217,6 +231,73 @@ func runSweep(path string, verify bool, csvOut, jsonOut string) error {
 	}
 	if err := writeFile(jsonOut, func(f *os.File) error { return res.WriteJSON(f) }); err != nil {
 		return err
+	}
+	if n := res.Failed(); n > 0 {
+		return fmt.Errorf("%d of %d sweep jobs failed (see the status column)", n, len(res.Jobs))
+	}
+	return nil
+}
+
+// runSweepRemote runs the sweep spec on a padcsweepd server: submit the
+// spec as a campaign, stream the rows back live for the progress line
+// and the rendered table, and download the merged artifacts verbatim —
+// the on-disk bytes are exactly what the server merged, which the
+// service guarantees is byte-identical to the in-process run.
+func runSweepRemote(server, path string, jobs int, verify bool, csvOut, jsonOut string) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	spec, err := padc.ParseSweepSpec(data)
+	if err != nil {
+		return err
+	}
+	cl, err := sweepd.NewClient(server)
+	if err != nil {
+		return err
+	}
+	ctx := context.Background()
+	info, err := cl.Submit(ctx, sweepd.SubmitRequest{Spec: data, Workers: jobs, Verify: verify})
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "padcsim: campaign %s on %s (%d jobs)\n", info.ID, server, info.Total)
+
+	var rows []padc.SweepJob
+	err = cl.StreamRows(ctx, info.ID, 0, func(ev sweepd.RowEvent) error {
+		if ev.Row != nil {
+			rows = append(rows, *ev.Row)
+			fmt.Fprintf(os.Stderr, "\rpadcsim: sweep %d/%d jobs", len(rows), info.Total)
+			if len(rows) == info.Total {
+				fmt.Fprintln(os.Stderr)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	final, err := cl.Wait(ctx, info.ID, 0, nil)
+	if err != nil {
+		return err
+	}
+	if final.State != "completed" {
+		return fmt.Errorf("campaign %s %s: %s", final.ID, final.State, final.Error)
+	}
+
+	res := padc.MergeSweepRows(spec, rows)
+	fmt.Print(padc.RenderSweep(res))
+	for format, out := range map[string]string{"csv": csvOut, "json": jsonOut} {
+		if out == "" {
+			continue
+		}
+		artifact, err := cl.Artifact(ctx, final.ID, format)
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(out, artifact, 0o644); err != nil {
+			return err
+		}
 	}
 	if n := res.Failed(); n > 0 {
 		return fmt.Errorf("%d of %d sweep jobs failed (see the status column)", n, len(res.Jobs))

@@ -46,9 +46,9 @@ var experimentRegistry = map[string]func(sc exp.Scale) []*exp.Table{
 	"fig32": func(sc exp.Scale) []*exp.Table { return []*exp.Table{exp.Fig32(sc)} },
 	"tab1":  func(exp.Scale) []*exp.Table { return []*exp.Table{exp.Table1()} },
 	// Ablations beyond the paper: design-choice studies DESIGN.md calls out.
-	"abl-drop":  func(sc exp.Scale) []*exp.Table { return []*exp.Table{exp.AblationDropThreshold(sc)} },
-	"abl-prom":  func(sc exp.Scale) []*exp.Table { return []*exp.Table{exp.AblationPromotionThreshold(sc)} },
-	"abl-map":   func(sc exp.Scale) []*exp.Table { return []*exp.Table{exp.AblationAddressMapping(sc)} },
+	"abl-drop":    func(sc exp.Scale) []*exp.Table { return []*exp.Table{exp.AblationDropThreshold(sc)} },
+	"abl-prom":    func(sc exp.Scale) []*exp.Table { return []*exp.Table{exp.AblationPromotionThreshold(sc)} },
+	"abl-map":     func(sc exp.Scale) []*exp.Table { return []*exp.Table{exp.AblationAddressMapping(sc)} },
 	"abl-rules":   func(sc exp.Scale) []*exp.Table { return []*exp.Table{exp.AblationRuleOrder(sc)} },
 	"abl-refresh": func(sc exp.Scale) []*exp.Table { return []*exp.Table{exp.AblationRefresh(sc)} },
 }
@@ -99,6 +99,13 @@ func ParseSweepSpec(data []byte) (SweepSpec, error) { return runner.ParseSpec(da
 // produces byte-identical WriteCSV/WriteJSON output for any worker count.
 func Sweep(spec SweepSpec, opts SweepOptions) (*SweepResult, error) {
 	return runner.Run(spec, opts)
+}
+
+// MergeSweepRows reassembles job rows — collected from a remote row
+// stream or from the shards of a distributed campaign — into the same
+// key-sorted, deterministic SweepResult an in-process Sweep produces.
+func MergeSweepRows(spec SweepSpec, rows []SweepJob) *SweepResult {
+	return runner.MergeRows(spec, rows)
 }
 
 // RenderSweep renders the merged sweep as an aligned-text table (the same

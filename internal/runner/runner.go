@@ -1,6 +1,7 @@
 package runner
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"runtime/debug"
@@ -74,6 +75,45 @@ func Parallel(n int, job func(i int)) {
 // goroutines under a lock, so implementations need no synchronization.
 type Progress func(done, total int, r JobResult)
 
+// Shard selects a 1-of-Count slice of the expanded grid by the stable
+// grid index, so cooperating processes can split one spec without
+// coordination: shard s owns exactly the jobs with Index % Count == s.
+// The union of all Count shards is the full grid with no overlap, which
+// is what makes the merged union byte-identical to an unsharded run.
+type Shard struct {
+	Index int `json:"index"`
+	Count int `json:"count"`
+}
+
+// Enabled reports whether the shard actually restricts the grid
+// (Count <= 1 means the whole grid).
+func (s Shard) Enabled() bool { return s.Count > 1 }
+
+// Owns reports whether this shard executes the job at the given stable
+// grid index.
+func (s Shard) Owns(index int) bool {
+	return !s.Enabled() || index%s.Count == s.Index
+}
+
+// Validate reports malformed shard coordinates.
+func (s Shard) Validate() error {
+	if s.Count < 0 || s.Index < 0 {
+		return fmt.Errorf("runner: negative shard coordinates %d/%d", s.Index, s.Count)
+	}
+	if s.Count > 0 && s.Index >= s.Count {
+		return fmt.Errorf("runner: shard index %d out of range for %d shards", s.Index, s.Count)
+	}
+	return nil
+}
+
+// String renders "i/n" ("all" when unsharded) for logs and journals.
+func (s Shard) String() string {
+	if !s.Enabled() {
+		return "all"
+	}
+	return fmt.Sprintf("%d/%d", s.Index, s.Count)
+}
+
 // Options tunes one Run call.
 type Options struct {
 	// Workers bounds the pool; <= 0 uses DefaultWorkers().
@@ -84,6 +124,19 @@ type Options struct {
 	Verify bool
 	// Progress, when non-nil, is called after each job completes.
 	Progress Progress
+	// Shard restricts execution to the jobs this shard owns (by stable
+	// grid index). The merged result then contains only those rows; union
+	// the shards' rows with MergeRows to reassemble the full artifact.
+	Shard Shard
+	// Reuse, when non-nil, is consulted before a job executes. Returning
+	// (row, true) records the row without re-running the simulation — the
+	// resume hook the sweep service's journal recovery uses. A reused row
+	// still counts toward Progress's done total.
+	Reuse func(Job) (JobResult, bool)
+	// Start, when non-nil, is called (under the same lock as Progress)
+	// just before a job actually executes; reused jobs never trigger it.
+	// It is the queued→running transition hook for live metrics.
+	Start func(Job)
 }
 
 // JobResult is one job's merged row. Every field except the unexported
@@ -172,9 +225,30 @@ type SweepResult struct {
 // jobs are merged in job-key order; the error is non-nil only for spec
 // errors, never for individual job failures.
 func Run(spec Spec, opts Options) (*SweepResult, error) {
-	jobs, err := spec.Expand()
+	return RunContext(context.Background(), spec, opts)
+}
+
+// RunContext is Run with cancellation: when ctx is cancelled the pool
+// stops picking up new jobs, in-flight jobs finish, and the call returns
+// the merged partial result (only rows that actually completed) together
+// with ctx's error. A nil result is returned only for spec or shard
+// errors.
+func RunContext(ctx context.Context, spec Spec, opts Options) (*SweepResult, error) {
+	all, err := spec.Expand()
 	if err != nil {
 		return nil, err
+	}
+	if err := opts.Shard.Validate(); err != nil {
+		return nil, err
+	}
+	jobs := all
+	if opts.Shard.Enabled() {
+		jobs = make([]Job, 0, len(all)/opts.Shard.Count+1)
+		for _, j := range all {
+			if opts.Shard.Owns(j.Index) {
+				jobs = append(jobs, j)
+			}
+		}
 	}
 	workers := opts.Workers
 	if workers <= 0 {
@@ -188,13 +262,30 @@ func Run(spec Spec, opts Options) (*SweepResult, error) {
 	}
 
 	results := make([]JobResult, len(jobs))
+	ran := make([]bool, len(jobs))
 	start := time.Now()
 
-	var mu sync.Mutex // guards done counter + Progress callback
+	var mu sync.Mutex // guards done counter + Start/Progress callbacks
 	done := 0
 	runIdx := func(i int) {
-		r := runJob(jobs[i], opts.Verify)
+		if ctx.Err() != nil {
+			return
+		}
+		var r JobResult
+		reused := false
+		if opts.Reuse != nil {
+			r, reused = opts.Reuse(jobs[i])
+		}
+		if !reused {
+			if opts.Start != nil {
+				mu.Lock()
+				opts.Start(jobs[i])
+				mu.Unlock()
+			}
+			r = runJob(jobs[i], opts.Verify)
+		}
 		results[i] = r
+		ran[i] = true
 		mu.Lock()
 		done++
 		if opts.Progress != nil {
@@ -205,6 +296,9 @@ func Run(spec Spec, opts Options) (*SweepResult, error) {
 
 	if workers == 1 {
 		for i := range jobs {
+			if ctx.Err() != nil {
+				break
+			}
 			runIdx(i)
 		}
 	} else {
@@ -219,17 +313,41 @@ func Run(spec Spec, opts Options) (*SweepResult, error) {
 				}
 			}()
 		}
+	dispatch:
 		for i := range jobs {
-			next <- i
+			select {
+			case next <- i:
+			case <-ctx.Done():
+				break dispatch
+			}
 		}
 		close(next)
 		wg.Wait()
 	}
 
-	res := &SweepResult{Spec: spec, Jobs: results}
+	rows := results
+	if err := ctx.Err(); err != nil {
+		rows = rows[:0]
+		for i, ok := range ran {
+			if ok {
+				rows = append(rows, results[i])
+			}
+		}
+	}
+	res := &SweepResult{Spec: spec, Jobs: rows}
 	res.merge()
-	res.Stats = gatherStats(results, workers, time.Since(start))
-	return res, nil
+	res.Stats = gatherStats(rows, workers, time.Since(start))
+	return res, ctx.Err()
+}
+
+// MergeRows assembles a merged SweepResult from externally collected rows
+// — journal recovery, shard union — applying the same key-sort contract
+// as Run, so reassembled artifacts are byte-identical to a single-process
+// sweep of the same spec.
+func MergeRows(spec Spec, rows []JobResult) *SweepResult {
+	res := &SweepResult{Spec: spec, Jobs: append([]JobResult(nil), rows...)}
+	res.merge()
+	return res
 }
 
 // merge orders the job rows by their stable key (ties by index), the

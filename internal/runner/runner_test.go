@@ -2,6 +2,7 @@ package runner
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"runtime"
 	"strings"
@@ -246,5 +247,126 @@ func BenchmarkSweepParallel(b *testing.B) {
 				}
 			}
 		})
+	}
+}
+
+// TestRunContextCancellation covers the graceful-shutdown contract: after
+// cancellation RunContext returns context.Canceled plus only the rows
+// that actually completed, and finishing the sweep later with those rows
+// fed back through the Reuse hook yields artifacts byte-identical to an
+// uninterrupted run.
+func TestRunContextCancellation(t *testing.T) {
+	spec := testSpec()
+	full, err := Run(spec, Options{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantCSV, wantJSON := artifacts(t, full)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	const stopAfter = 5
+	partial, err := RunContext(ctx, spec, Options{
+		Workers: 2,
+		Progress: func(done, total int, _ JobResult) {
+			if done == stopAfter {
+				cancel()
+			}
+		},
+	})
+	if err != context.Canceled {
+		t.Fatalf("cancelled RunContext error = %v, want context.Canceled", err)
+	}
+	if n := len(partial.Jobs); n < stopAfter || n >= len(full.Jobs) {
+		t.Fatalf("cancelled run completed %d of %d jobs, want in [%d, %d)", n, len(full.Jobs), stopAfter, len(full.Jobs))
+	}
+	for _, j := range partial.Jobs {
+		if j.Err != "" {
+			t.Fatalf("completed row %s carries error %q", j.Key, j.Err)
+		}
+		if j.Cycles == 0 {
+			t.Fatalf("cancelled run leaked an unexecuted zero row: %+v", j)
+		}
+	}
+
+	// Resume: journal-style reuse of the completed rows must re-run only
+	// the remainder and reproduce the uninterrupted artifacts exactly.
+	recovered := make(map[int]JobResult, len(partial.Jobs))
+	for _, j := range partial.Jobs {
+		recovered[j.Index] = j
+	}
+	executed := 0
+	resumed, err := Run(spec, Options{
+		Workers: 3,
+		Reuse: func(j Job) (JobResult, bool) {
+			r, ok := recovered[j.Index]
+			return r, ok
+		},
+		Start: func(Job) { executed++ },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := len(full.Jobs) - len(partial.Jobs); executed != want {
+		t.Fatalf("resume executed %d jobs, want %d", executed, want)
+	}
+	csv, js := artifacts(t, resumed)
+	if csv != wantCSV {
+		t.Errorf("resumed CSV differs from uninterrupted run:\n%s", firstDiff(wantCSV, csv))
+	}
+	if js != wantJSON {
+		t.Errorf("resumed JSON differs from uninterrupted run:\n%s", firstDiff(wantJSON, js))
+	}
+}
+
+// TestShardUnionMatchesUnsharded is the shard-determinism contract: for
+// uneven splits (shard counts that do not divide the job count) the union
+// of every shard's rows, merged with MergeRows, is byte-identical to the
+// unsharded artifact — and the shards partition the grid with no overlap.
+func TestShardUnionMatchesUnsharded(t *testing.T) {
+	spec := testSpec() // 16 jobs: 3 and 5 shards are both uneven splits
+	full, err := Run(spec, Options{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantCSV, wantJSON := artifacts(t, full)
+
+	for _, count := range []int{2, 3, 5} {
+		var union []JobResult
+		seen := map[int]bool{}
+		for idx := 0; idx < count; idx++ {
+			res, err := Run(spec, Options{Workers: 2, Shard: Shard{Index: idx, Count: count}})
+			if err != nil {
+				t.Fatalf("shard %d/%d: %v", idx, count, err)
+			}
+			for _, j := range res.Jobs {
+				if seen[j.Index] {
+					t.Fatalf("shard %d/%d re-ran job index %d", idx, count, j.Index)
+				}
+				seen[j.Index] = true
+			}
+			union = append(union, res.Jobs...)
+		}
+		if len(union) != len(full.Jobs) {
+			t.Fatalf("%d shards yielded %d rows, want %d", count, len(union), len(full.Jobs))
+		}
+		csv, js := artifacts(t, MergeRows(spec, union))
+		if csv != wantCSV {
+			t.Errorf("count=%d: sharded union CSV differs:\n%s", count, firstDiff(wantCSV, csv))
+		}
+		if js != wantJSON {
+			t.Errorf("count=%d: sharded union JSON differs:\n%s", count, firstDiff(wantJSON, js))
+		}
+	}
+}
+
+// TestShardValidate rejects malformed shard coordinates.
+func TestShardValidate(t *testing.T) {
+	for _, s := range []Shard{{Index: -1, Count: 2}, {Index: 2, Count: 2}, {Index: 0, Count: -1}} {
+		if _, err := Run(testSpec(), Options{Shard: s}); err == nil {
+			t.Errorf("shard %+v accepted, want error", s)
+		}
+	}
+	if !(Shard{Count: 1}).Owns(3) || (Shard{Index: 0, Count: 2}).Owns(3) {
+		t.Error("modulo ownership broken")
 	}
 }

@@ -1,0 +1,213 @@
+package sweepd
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Client is the Go client for a padcsweepd server; padcsweepd's
+// submit/status subcommands and padcsim's -sweep-remote mode both sit on
+// it.
+type Client struct {
+	base *url.URL
+	hc   *http.Client
+}
+
+// NewClient builds a client for the server at baseURL (e.g.
+// "http://127.0.0.1:8080"). The HTTP client has no global timeout — row
+// streams are long-lived — so pass contexts to bound individual calls.
+func NewClient(baseURL string) (*Client, error) {
+	u, err := url.Parse(baseURL)
+	if err != nil {
+		return nil, fmt.Errorf("sweepd: parsing server url: %w", err)
+	}
+	if u.Scheme == "" || u.Host == "" {
+		return nil, fmt.Errorf("sweepd: server url %q needs scheme and host", baseURL)
+	}
+	return &Client{base: u, hc: &http.Client{}}, nil
+}
+
+func (c *Client) url(path string, query url.Values) string {
+	u := *c.base
+	u.Path = strings.TrimRight(u.Path, "/") + path
+	if query != nil {
+		u.RawQuery = query.Encode()
+	}
+	return u.String()
+}
+
+// do issues one request and decodes the JSON body into out (when non-nil),
+// converting the server's error envelope into a Go error.
+func (c *Client) do(ctx context.Context, method, path string, query url.Values, body io.Reader, out any) error {
+	req, err := http.NewRequestWithContext(ctx, method, c.url(path, query), body)
+	if err != nil {
+		return err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode/100 != 2 {
+		var envelope struct {
+			Error string `json:"error"`
+		}
+		if json.Unmarshal(data, &envelope) == nil && envelope.Error != "" {
+			return fmt.Errorf("sweepd: server: %s", envelope.Error)
+		}
+		return fmt.Errorf("sweepd: server returned %s", resp.Status)
+	}
+	if out == nil {
+		return nil
+	}
+	return json.Unmarshal(data, out)
+}
+
+// Submit uploads a campaign and returns its accepted status.
+func (c *Client) Submit(ctx context.Context, req SubmitRequest) (CampaignInfo, error) {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return CampaignInfo{}, err
+	}
+	var info CampaignInfo
+	err = c.do(ctx, http.MethodPost, "/api/v1/campaigns", nil, bytes.NewReader(body), &info)
+	return info, err
+}
+
+// Info fetches one campaign's status.
+func (c *Client) Info(ctx context.Context, id string) (CampaignInfo, error) {
+	var info CampaignInfo
+	err := c.do(ctx, http.MethodGet, "/api/v1/campaigns/"+url.PathEscape(id), nil, nil, &info)
+	return info, err
+}
+
+// List fetches every campaign's status.
+func (c *Client) List(ctx context.Context) ([]CampaignInfo, error) {
+	var out []CampaignInfo
+	err := c.do(ctx, http.MethodGet, "/api/v1/campaigns", nil, nil, &out)
+	return out, err
+}
+
+// Cancel stops a running campaign.
+func (c *Client) Cancel(ctx context.Context, id string) error {
+	return c.do(ctx, http.MethodPost, "/api/v1/campaigns/"+url.PathEscape(id)+"/cancel", nil, nil, nil)
+}
+
+// StreamRows attaches to the campaign's row stream from the given offset
+// and calls fn for every event until the stream ends. It returns nil on a
+// clean terminal event, the callback's error if fn aborts the stream, or
+// a transport/stream error (including the server's slow-consumer
+// disconnect, surfaced as an error so callers know to reconnect).
+func (c *Client) StreamRows(ctx context.Context, id string, offset int, fn func(RowEvent) error) error {
+	q := url.Values{}
+	if offset > 0 {
+		q.Set("offset", strconv.Itoa(offset))
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet,
+		c.url("/api/v1/campaigns/"+url.PathEscape(id)+"/rows", q), nil)
+	if err != nil {
+		return err
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		data, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		return fmt.Errorf("sweepd: rows stream: %s: %s", resp.Status, bytes.TrimSpace(data))
+	}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<22) // rows carry telemetry maps
+	for sc.Scan() {
+		var ev RowEvent
+		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+			return fmt.Errorf("sweepd: decoding row event: %w", err)
+		}
+		if ev.Err != "" && ev.Row == nil && !ev.Done {
+			return fmt.Errorf("sweepd: stream: %s", ev.Err)
+		}
+		if err := fn(ev); err != nil {
+			return err
+		}
+		if ev.Done {
+			return nil
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	return fmt.Errorf("sweepd: row stream ended without a terminal event (server restarting?)")
+}
+
+// Wait polls the campaign until it reaches a terminal state, invoking
+// progress (when non-nil) after each poll.
+func (c *Client) Wait(ctx context.Context, id string, poll time.Duration, progress func(CampaignInfo)) (CampaignInfo, error) {
+	if poll <= 0 {
+		poll = 200 * time.Millisecond
+	}
+	t := time.NewTicker(poll)
+	defer t.Stop()
+	for {
+		info, err := c.Info(ctx, id)
+		if err != nil {
+			return info, err
+		}
+		if progress != nil {
+			progress(info)
+		}
+		if info.Terminal() {
+			return info, nil
+		}
+		select {
+		case <-ctx.Done():
+			return info, ctx.Err()
+		case <-t.C:
+		}
+	}
+}
+
+// Artifact downloads the merged artifact ("csv" or "json") verbatim —
+// bytes straight off the wire, preserving the byte-identity contract.
+func (c *Client) Artifact(ctx context.Context, id, format string) ([]byte, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet,
+		c.url("/api/v1/campaigns/"+url.PathEscape(id)+"/artifact."+format, nil), nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		var envelope struct {
+			Error string `json:"error"`
+		}
+		if json.Unmarshal(data, &envelope) == nil && envelope.Error != "" {
+			return nil, fmt.Errorf("sweepd: server: %s", envelope.Error)
+		}
+		return nil, fmt.Errorf("sweepd: artifact: server returned %s", resp.Status)
+	}
+	return data, nil
+}

@@ -1,0 +1,64 @@
+package sweepd
+
+import (
+	"padc/internal/telemetry"
+)
+
+// serviceMetrics is the service-wide Prometheus family set; each campaign
+// gets one labeled series per family. Families are registered once at
+// service construction (telemetry.PromRegistry panics on duplicates) and
+// series appear as campaigns are submitted or recovered.
+type serviceMetrics struct {
+	reg *telemetry.PromRegistry
+
+	campaigns   *telemetry.LiveVec // counter: campaigns accepted, by source
+	jobsTotal   *telemetry.LiveVec // gauge: jobs the campaign owns
+	jobsDone    *telemetry.LiveVec // counter: completed rows (incl. failed+reused)
+	jobsFailed  *telemetry.LiveVec // counter: rows with a job error
+	jobsReused  *telemetry.LiveVec // counter: rows recovered from the journal
+	jobsRunning *telemetry.LiveVec // gauge: rows currently executing
+	rows        *telemetry.LiveVec // counter: rows delivered to stream subscribers
+	lag         *telemetry.LiveVec // gauge: completed rows not yet journaled
+	state       *telemetry.LiveVec // gauge: State enum value
+}
+
+func newServiceMetrics() *serviceMetrics {
+	reg := telemetry.NewPromRegistry()
+	return &serviceMetrics{
+		reg:         reg,
+		campaigns:   reg.Counter("padc_sweepd_campaigns_total", "campaigns accepted by this server", "source"),
+		jobsTotal:   reg.Gauge("padc_sweepd_jobs_total", "jobs owned by the campaign's shard", "campaign"),
+		jobsDone:    reg.Counter("padc_sweepd_jobs_done", "completed job rows (including failed and reused)", "campaign"),
+		jobsFailed:  reg.Counter("padc_sweepd_jobs_failed", "job rows carrying an error", "campaign"),
+		jobsReused:  reg.Counter("padc_sweepd_jobs_reused", "job rows recovered from the journal instead of executed", "campaign"),
+		jobsRunning: reg.Gauge("padc_sweepd_jobs_running", "job rows currently executing", "campaign"),
+		rows:        reg.Counter("padc_sweepd_rows_streamed", "rows delivered to live stream subscribers", "campaign"),
+		lag:         reg.Gauge("padc_sweepd_checkpoint_lag", "completed rows not yet durably journaled", "campaign"),
+		state:       reg.Gauge("padc_sweepd_campaign_state", "campaign lifecycle state (0 pending, 1 running, 2 completed, 3 failed, 4 cancelled)", "campaign"),
+	}
+}
+
+// campaignMetrics binds one campaign's label value onto every family.
+type campaignMetrics struct {
+	jobsTotal    *telemetry.LiveMetric
+	jobsDone     *telemetry.LiveMetric
+	jobsFailed   *telemetry.LiveMetric
+	jobsReused   *telemetry.LiveMetric
+	jobsRunning  *telemetry.LiveMetric
+	rowsStreamed *telemetry.LiveMetric
+	lag          *telemetry.LiveMetric
+	state        *telemetry.LiveMetric
+}
+
+func (m *serviceMetrics) forCampaign(id string) *campaignMetrics {
+	return &campaignMetrics{
+		jobsTotal:    m.jobsTotal.With(id),
+		jobsDone:     m.jobsDone.With(id),
+		jobsFailed:   m.jobsFailed.With(id),
+		jobsReused:   m.jobsReused.With(id),
+		jobsRunning:  m.jobsRunning.With(id),
+		rowsStreamed: m.rows.With(id),
+		lag:          m.lag.With(id),
+		state:        m.state.With(id),
+	}
+}

@@ -1,0 +1,190 @@
+package sweepd
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"padc/internal/runner"
+)
+
+// resumeSpecJSON expands to 12 jobs — enough that an interruption
+// plausibly lands mid-flight and the resumed remainder is non-trivial.
+const resumeSpecJSON = `{
+	"name": "resume",
+	"seed": 5,
+	"cores": 2,
+	"insts": 8000,
+	"policies": ["demand-first", "aps", "padc"],
+	"workloads": [["swim", "libquantum"]],
+	"mixes": 3
+}`
+
+// TestCrashResumeByteIdentical is the campaign-resume contract (and the
+// PR's acceptance criterion in miniature): a journal interrupted
+// mid-flight — including a torn final line — resumed at several worker
+// counts produces CSV and JSON artifacts byte-identical to an
+// uninterrupted single-process run. The interrupted journal is
+// fabricated from real rows so the cut point is deterministic.
+func TestCrashResumeByteIdentical(t *testing.T) {
+	spec, wantCSV, wantJSON := localArtifacts(t, resumeSpecJSON, 1)
+	full, err := runner.Run(spec, runner.Options{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, tc := range []struct {
+		name    string
+		keep    int // journaled rows before the "crash"
+		torn    bool
+		workers int
+	}{
+		{"early-crash", 2, true, 1},
+		{"mid-crash", 5, false, 2},
+		{"late-crash-torn", 9, true, 4},
+		{"nothing-journaled", 0, true, 3},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			dir := t.TempDir()
+			id := "cdeadbeef"
+			hdr := journalHeader{
+				V: journalVersion, ID: id, Spec: spec, Total: len(full.Jobs), Workers: tc.workers,
+			}
+			path := filepath.Join(dir, id, journalName)
+			j, err := createJournal(path, hdr)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Journal the first keep rows in completion order, then crash:
+			// optionally a torn half-written row with no newline.
+			for i := 0; i < tc.keep; i++ {
+				if err := j.AppendRow(full.Jobs[i]); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if err := j.Close(); err != nil {
+				t.Fatal(err)
+			}
+			if tc.torn {
+				f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if _, err := f.WriteString(`{"row":{"index":11,"key":"policy=...`); err != nil {
+					t.Fatal(err)
+				}
+				f.Close()
+			}
+
+			s := newTestService(t, dir, tc.workers)
+			defer s.Close()
+			c, ok := s.Campaign(id)
+			if !ok {
+				t.Fatal("interrupted campaign not recovered")
+			}
+			if err := c.Wait(context.Background()); err != nil {
+				t.Fatal(err)
+			}
+			info := c.Info()
+			if info.State != "completed" {
+				t.Fatalf("resumed campaign state %q (%+v)", info.State, info)
+			}
+			if info.Reused != tc.keep {
+				t.Errorf("reused %d journaled rows, want %d", info.Reused, tc.keep)
+			}
+
+			res := c.Result()
+			var cb, jb bytes.Buffer
+			if err := res.WriteCSV(&cb); err != nil {
+				t.Fatal(err)
+			}
+			if err := res.WriteJSON(&jb); err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(cb.Bytes(), wantCSV) {
+				t.Errorf("resumed CSV differs from uninterrupted run")
+			}
+			if !bytes.Equal(jb.Bytes(), wantJSON) {
+				t.Errorf("resumed JSON differs from uninterrupted run")
+			}
+
+			// The repaired journal must now be terminal and fully replayable:
+			// a second restart loads the completed campaign with every row.
+			s.Close()
+			s2 := newTestService(t, dir, 1)
+			defer s2.Close()
+			c2, ok := s2.Campaign(id)
+			if !ok {
+				t.Fatal("completed campaign lost on second restart")
+			}
+			if got := c2.Info(); got.State != "completed" || got.Done != len(full.Jobs) {
+				t.Fatalf("second restart: %+v", got)
+			}
+			var cb2 bytes.Buffer
+			if err := c2.Result().WriteCSV(&cb2); err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(cb2.Bytes(), wantCSV) {
+				t.Error("artifact drifted across restart of a completed campaign")
+			}
+		})
+	}
+}
+
+// TestLiveInterruptResume exercises the real shutdown path: a running
+// service is Closed mid-campaign (graceful interruption, no terminal
+// journal event), then a fresh service over the same data directory
+// auto-resumes and finishes with a byte-identical artifact.
+func TestLiveInterruptResume(t *testing.T) {
+	_, wantCSV, _ := localArtifacts(t, resumeSpecJSON, 1)
+
+	dir := t.TempDir()
+	s := newTestService(t, dir, 1)
+	c, err := s.Submit(SubmitRequest{Spec: json.RawMessage(resumeSpecJSON)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Interrupt once some (ideally not all) rows are journaled.
+	deadline := time.After(60 * time.Second)
+	for c.Info().Done < 2 {
+		select {
+		case <-deadline:
+			t.Fatal("campaign made no progress")
+		case <-time.After(time.Millisecond):
+		}
+	}
+	s.Close()
+	interrupted := c.Info()
+	t.Logf("interrupted at %d/%d rows (state %s)", interrupted.Done, interrupted.Total, interrupted.State)
+
+	s2 := newTestService(t, dir, 3)
+	defer s2.Close()
+	c2, ok := s2.Campaign(c.ID)
+	if !ok {
+		t.Fatal("interrupted campaign not found after restart")
+	}
+	if err := c2.Wait(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	info := c2.Info()
+	if info.State != "completed" || info.Done != info.Total {
+		t.Fatalf("resumed campaign: %+v", info)
+	}
+	// Every row journaled before the interruption must have been reused,
+	// not re-executed (if the campaign happened to finish before Close,
+	// the restart just loads it and Reused stays 0).
+	if interrupted.State == "running" && info.Reused == 0 && interrupted.Done < interrupted.Total {
+		t.Errorf("resume re-executed all %d journaled rows", interrupted.Done)
+	}
+	var cb bytes.Buffer
+	if err := c2.Result().WriteCSV(&cb); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(cb.Bytes(), wantCSV) {
+		t.Error("live-interrupted resume produced a different CSV artifact")
+	}
+}

@@ -1,0 +1,191 @@
+package telemetry
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// This file is the service-side counterpart of the simulator registry:
+// long-running processes (the sweep service) need metrics that many
+// goroutines update concurrently and that carry labels (one series per
+// campaign). The simulator registry stays single-threaded and unlabeled
+// on purpose — its counters are plain uint64 adds on the Tick hot path —
+// so the live registry is a separate, lock-free-on-update type rather
+// than a retrofit.
+
+// LiveMetric is one labeled series: a float64 updated atomically, usable
+// as either a counter (Add/Inc) or a gauge (Set). The zero value is ready
+// to use; a nil *LiveMetric no-ops like the simulator metrics.
+type LiveMetric struct {
+	bits atomic.Uint64 // math.Float64bits of the current value
+}
+
+// Add atomically adds delta (CAS loop; safe from any goroutine).
+func (m *LiveMetric) Add(delta float64) {
+	if m == nil {
+		return
+	}
+	for {
+		old := m.bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + delta)
+		if m.bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Inc adds one.
+func (m *LiveMetric) Inc() { m.Add(1) }
+
+// Set atomically replaces the value (gauge semantics).
+func (m *LiveMetric) Set(v float64) {
+	if m == nil {
+		return
+	}
+	m.bits.Store(math.Float64bits(v))
+}
+
+// Value returns the current value (0 for nil).
+func (m *LiveMetric) Value() float64 {
+	if m == nil {
+		return 0
+	}
+	return math.Float64frombits(m.bits.Load())
+}
+
+// LiveVec is one metric family: a name, a kind, a fixed label schema, and
+// one LiveMetric per label-value combination, created on first use.
+type LiveVec struct {
+	name   string
+	help   string
+	kind   MetricKind
+	labels []string
+
+	mu     sync.Mutex
+	series map[string]*LiveMetric
+	order  []string // insertion order of series keys
+}
+
+// With returns the series for the given label values (one value per label
+// name passed at registration, in the same order), creating it at zero on
+// first use. It panics on arity mismatch — that is a programming error,
+// like a duplicate metric name in the simulator registry.
+func (v *LiveVec) With(values ...string) *LiveMetric {
+	if v == nil {
+		return nil
+	}
+	if len(values) != len(v.labels) {
+		panic(fmt.Sprintf("telemetry: metric %q wants %d label values, got %d", v.name, len(v.labels), len(values)))
+	}
+	key := strings.Join(values, "\x00")
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	m, ok := v.series[key]
+	if !ok {
+		m = &LiveMetric{}
+		v.series[key] = m
+		v.order = append(v.order, key)
+	}
+	return m
+}
+
+// PromRegistry is a concurrency-safe registry of labeled live metrics
+// with a Prometheus text-exposition writer. Unlike the simulator registry
+// it may be updated from any goroutine at any time, which is what a
+// network service needs.
+type PromRegistry struct {
+	mu   sync.Mutex
+	vecs []*LiveVec
+	seen map[string]bool
+}
+
+// NewPromRegistry builds an empty live registry.
+func NewPromRegistry() *PromRegistry {
+	return &PromRegistry{seen: make(map[string]bool)}
+}
+
+func (r *PromRegistry) register(name, help string, kind MetricKind, labels []string) *LiveVec {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.seen[name] {
+		panic(fmt.Sprintf("telemetry: duplicate live metric %q", name))
+	}
+	r.seen[name] = true
+	v := &LiveVec{
+		name:   name,
+		help:   help,
+		kind:   kind,
+		labels: append([]string(nil), labels...),
+		series: make(map[string]*LiveMetric),
+	}
+	r.vecs = append(r.vecs, v)
+	return v
+}
+
+// Counter registers a monotonically-increasing family; callers promise to
+// only Add/Inc its series. Name must be Prometheus-legal already (the
+// live registry does not flatten like promName; service metric names are
+// chosen, not derived).
+func (r *PromRegistry) Counter(name, help string, labels ...string) *LiveVec {
+	return r.register(name, help, KindCounter, labels)
+}
+
+// Gauge registers an instantaneous family; series are usually Set.
+func (r *PromRegistry) Gauge(name, help string, labels ...string) *LiveVec {
+	return r.register(name, help, KindGauge, labels)
+}
+
+// WritePrometheus writes every family in registration order, each family's
+// series sorted by label values, in the Prometheus text exposition format.
+func (r *PromRegistry) WritePrometheus(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if r == nil {
+		return bw.Flush()
+	}
+	r.mu.Lock()
+	vecs := append([]*LiveVec(nil), r.vecs...)
+	r.mu.Unlock()
+	for _, v := range vecs {
+		kind := "counter"
+		if v.kind == KindGauge {
+			kind = "gauge"
+		}
+		if v.help != "" {
+			fmt.Fprintf(bw, "# HELP %s %s\n", v.name, v.help)
+		}
+		fmt.Fprintf(bw, "# TYPE %s %s\n", v.name, kind)
+		v.mu.Lock()
+		keys := append([]string(nil), v.order...)
+		sort.Strings(keys)
+		for _, key := range keys {
+			m := v.series[key]
+			bw.WriteString(v.name)
+			if len(v.labels) > 0 {
+				vals := strings.Split(key, "\x00")
+				bw.WriteByte('{')
+				for i, l := range v.labels {
+					if i > 0 {
+						bw.WriteByte(',')
+					}
+					fmt.Fprintf(bw, "%s=%q", l, vals[i])
+				}
+				bw.WriteByte('}')
+			}
+			bw.WriteByte(' ')
+			bw.WriteString(strconv.FormatFloat(m.Value(), 'g', -1, 64))
+			bw.WriteByte('\n')
+		}
+		v.mu.Unlock()
+	}
+	return bw.Flush()
+}

@@ -1,0 +1,101 @@
+package telemetry
+
+import (
+	"bytes"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestPromRegistryExposition pins the exposition shape: family order is
+// registration order, series are sorted by label values, counters and
+// gauges carry their kinds, and label values are quoted.
+func TestPromRegistryExposition(t *testing.T) {
+	r := NewPromRegistry()
+	done := r.Counter("padc_sweepd_jobs_done", "completed jobs", "campaign")
+	lag := r.Gauge("padc_sweepd_checkpoint_lag", "rows not yet journaled", "campaign")
+	done.With("c2").Add(3)
+	done.With("c1").Inc()
+	lag.With("c1").Set(2.5)
+
+	var b bytes.Buffer
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	want := `# HELP padc_sweepd_jobs_done completed jobs
+# TYPE padc_sweepd_jobs_done counter
+padc_sweepd_jobs_done{campaign="c1"} 1
+padc_sweepd_jobs_done{campaign="c2"} 3
+# HELP padc_sweepd_checkpoint_lag rows not yet journaled
+# TYPE padc_sweepd_checkpoint_lag gauge
+padc_sweepd_checkpoint_lag{campaign="c1"} 2.5
+`
+	if b.String() != want {
+		t.Fatalf("exposition mismatch:\ngot:\n%s\nwant:\n%s", b.String(), want)
+	}
+}
+
+// TestPromRegistryConcurrent hammers one series from many goroutines —
+// the atomic-add contract (run under -race in CI).
+func TestPromRegistryConcurrent(t *testing.T) {
+	r := NewPromRegistry()
+	c := r.Counter("hits", "", "who")
+	const goroutines, perG = 16, 1000
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			m := c.With("x")
+			for i := 0; i < perG; i++ {
+				m.Inc()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := c.With("x").Value(); got != goroutines*perG {
+		t.Fatalf("concurrent adds lost updates: %v", got)
+	}
+}
+
+// TestPromRegistryNilAndPanics covers the nil no-op paths and the two
+// programming-error panics (duplicate family, label arity).
+func TestPromRegistryNilAndPanics(t *testing.T) {
+	var nr *PromRegistry
+	nv := nr.Counter("x", "")
+	nv.With().Inc() // all no-ops
+	var b bytes.Buffer
+	if err := nr.WritePrometheus(&b); err != nil || b.Len() != 0 {
+		t.Fatalf("nil registry wrote %q, err %v", b.String(), err)
+	}
+
+	r := NewPromRegistry()
+	r.Counter("dup", "")
+	assertPanics(t, "duplicate family", func() { r.Counter("dup", "") })
+	v := r.Gauge("g", "", "a", "b")
+	assertPanics(t, "label arity", func() { v.With("only-one") })
+}
+
+func assertPanics(t *testing.T, what string, fn func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("%s did not panic", what)
+		}
+	}()
+	fn()
+}
+
+// TestPromRegistryUnlabeled checks a zero-label family renders without
+// braces.
+func TestPromRegistryUnlabeled(t *testing.T) {
+	r := NewPromRegistry()
+	r.Gauge("up", "").With().Set(1)
+	var b bytes.Buffer
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "\nup 1\n") {
+		t.Fatalf("unlabeled series malformed:\n%s", b.String())
+	}
+}

@@ -1,0 +1,138 @@
+// Command benchsnap records the performance-tracking benchmarks into a
+// checked-in JSON snapshot (BENCH_sweep.json at the repo root). It runs
+// `go test -bench` as subprocesses — one per package so the benchmarks
+// see an idle machine — parses the standard benchmark output, and writes
+// one JSON document with the environment (Go version, GOMAXPROCS) and
+// every sub-benchmark's ns/op, B/op and allocs/op.
+//
+// The snapshot is a reviewable record, not a regression gate: numbers
+// move with hardware, so CI re-runs the benchmarks in smoke mode instead
+// of diffing the file. Refresh it after perf-relevant changes with:
+//
+//	make bench-snapshot
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"regexp"
+	"runtime"
+	"strconv"
+	"strings"
+)
+
+// targets are the benchmarks the snapshot tracks: the parallel sweep
+// engine (wall-clock scaling) and the memory-controller scheduler hot
+// path (per-tick cost across policies and buffer depths).
+var targets = []struct {
+	pkg   string
+	bench string
+}{
+	{"./internal/runner", "^BenchmarkSweepParallel$"},
+	{"./internal/memctrl", "^BenchmarkControllerTick$"},
+}
+
+type entry struct {
+	Package     string  `json:"package"`
+	Name        string  `json:"name"`
+	Iterations  int     `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  *int    `json:"bytes_per_op,omitempty"`
+	AllocsPerOp *int    `json:"allocs_per_op,omitempty"`
+}
+
+type snapshot struct {
+	Go         string  `json:"go"`
+	GOOS       string  `json:"goos"`
+	GOARCH     string  `json:"goarch"`
+	GOMAXPROCS int     `json:"gomaxprocs"`
+	Benchtime  string  `json:"benchtime"`
+	Benchmarks []entry `json:"benchmarks"`
+}
+
+// benchLine matches one line of `go test -bench` output, e.g.
+//
+//	BenchmarkControllerTick/policy=aps/depth=64-8   1201  987.4 ns/op  12 B/op  1 allocs/op
+var benchLine = regexp.MustCompile(
+	`^(Benchmark\S+?)(?:-\d+)?\s+(\d+)\s+([\d.]+) ns/op(?:\s+(\d+) B/op)?(?:\s+(\d+) allocs/op)?`)
+
+func main() {
+	out := flag.String("out", "BENCH_sweep.json", "snapshot file to write")
+	benchtime := flag.String("benchtime", "1s", "go test -benchtime per sub-benchmark")
+	flag.Parse()
+
+	snap := snapshot{
+		Go:         runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Benchtime:  *benchtime,
+	}
+	for _, tgt := range targets {
+		entries, err := run(tgt.pkg, tgt.bench, *benchtime)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchsnap:", err)
+			os.Exit(1)
+		}
+		snap.Benchmarks = append(snap.Benchmarks, entries...)
+	}
+	if len(snap.Benchmarks) == 0 {
+		fmt.Fprintln(os.Stderr, "benchsnap: no benchmark lines parsed")
+		os.Exit(1)
+	}
+
+	data, err := json.MarshalIndent(snap, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchsnap:", err)
+		os.Exit(1)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "benchsnap:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("benchsnap: wrote %d benchmarks to %s\n", len(snap.Benchmarks), *out)
+}
+
+// run executes one package's benchmarks and parses the output lines.
+func run(pkg, bench, benchtime string) ([]entry, error) {
+	fmt.Fprintf(os.Stderr, "benchsnap: go test -bench %s %s\n", bench, pkg)
+	cmd := exec.Command("go", "test", "-run", "^$", "-bench", bench,
+		"-benchtime", benchtime, "-benchmem", pkg)
+	var buf bytes.Buffer
+	cmd.Stdout = &buf
+	cmd.Stderr = os.Stderr
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("%s: %w\n%s", pkg, err, buf.String())
+	}
+	var entries []entry
+	for _, line := range strings.Split(buf.String(), "\n") {
+		m := benchLine.FindStringSubmatch(strings.TrimSpace(line))
+		if m == nil {
+			continue
+		}
+		iters, _ := strconv.Atoi(m[2])
+		ns, err := strconv.ParseFloat(m[3], 64)
+		if err != nil {
+			return nil, fmt.Errorf("%s: parsing %q: %w", pkg, line, err)
+		}
+		e := entry{Package: strings.TrimPrefix(pkg, "./"), Name: m[1], Iterations: iters, NsPerOp: ns}
+		if m[4] != "" {
+			b, _ := strconv.Atoi(m[4])
+			e.BytesPerOp = &b
+		}
+		if m[5] != "" {
+			a, _ := strconv.Atoi(m[5])
+			e.AllocsPerOp = &a
+		}
+		entries = append(entries, e)
+	}
+	if len(entries) == 0 {
+		return nil, fmt.Errorf("%s: no benchmark lines in output:\n%s", pkg, buf.String())
+	}
+	return entries, nil
+}
