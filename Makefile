@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race bench-snapshot smoke-sweepd
+.PHONY: build test race bench-snapshot bench-compare smoke-sweepd
 
 build:
 	$(GO) build ./...
@@ -9,16 +9,23 @@ test:
 	$(GO) build ./... && $(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/sweepd/ ./internal/runner/ ./internal/telemetry/
+	$(GO) test -race ./internal/sweepd/ ./internal/runner/ ./internal/telemetry/ ./internal/telemetry/flight/
 
-# Refresh the checked-in benchmark snapshot (BENCH_sweep.json): the
-# parallel sweep engine and the controller-tick hot path. Run on an idle
-# machine; the file records environment alongside the numbers.
+# Append a benchmark snapshot to the checked-in history
+# (BENCH_sweep.json): the parallel sweep engine and the controller-tick
+# hot path. Run on an idle machine; each snapshot records its
+# environment and timestamp alongside the numbers.
 bench-snapshot:
 	$(GO) run ./scripts/benchsnap -out BENCH_sweep.json
 
-# End-to-end service smoke: build padcsweepd, submit a campaign over
-# HTTP, SIGKILL the server mid-run, resume, and verify the artifact is
-# byte-identical to the in-process `padcsim -sweep` run.
+# Diff the last two snapshots in the history and fail on any >20% ns/op
+# regression. Meaningful after two `make bench-snapshot` runs on the
+# same machine.
+bench-compare:
+	$(GO) run ./scripts/benchsnap -out BENCH_sweep.json -compare
+
+# End-to-end service smoke: build padcsweepd, wait for /readyz, submit a
+# campaign over HTTP, SIGKILL the server mid-run, resume, and verify the
+# artifact is byte-identical to the in-process `padcsim -sweep` run.
 smoke-sweepd:
 	./scripts/smoke_sweepd.sh

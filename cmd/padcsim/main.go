@@ -11,9 +11,13 @@
 // Telemetry (with -bench): -epoch sets the sampling period, -metrics
 // writes the epoch time series as CSV, -trace writes a Chrome
 // trace_event JSON (chrome://tracing, Perfetto), -events writes the raw
-// event ring as JSONL.
+// event ring as JSONL, and -heatmap writes the bank-state flight
+// recorder's per-epoch × per-bank table (CSV, or JSONL when the path
+// ends in .jsonl). With both -heatmap and -trace, per-bank counter
+// tracks are folded into the Chrome trace.
 //
 //	padcsim -bench swim,art -policy padc -metrics out.csv -trace out.json -epoch 10000
+//	padcsim -bench swim,art -policy padc -heatmap banks.csv
 //
 // Profiling (with -bench): -profile prints the per-core cycle-accounting
 // table (every cycle attributed to retire / demand-miss / mshr-full /
@@ -67,6 +71,7 @@ import (
 	"padc/internal/exp"
 	"padc/internal/sweepd"
 	"padc/internal/telemetry"
+	"padc/internal/telemetry/flight"
 	"padc/internal/telemetry/lifecycle"
 )
 
@@ -89,6 +94,7 @@ func main() {
 		metricsOut = flag.String("metrics", "", "write the epoch metric time series as CSV to this file")
 		traceOut   = flag.String("trace", "", "write a Chrome trace_event JSON to this file")
 		eventsOut  = flag.String("events", "", "write the raw event ring as JSONL to this file")
+		heatmapOut = flag.String("heatmap", "", "write the flight recorder's per-epoch x per-bank heatmap to this file (CSV, or JSONL with a .jsonl extension)")
 		epoch      = flag.Uint64("epoch", 10_000, "telemetry sampling period in cycles")
 
 		profile      = flag.Bool("profile", false, "print per-core cycle attribution and lifecycle breakdown tables")
@@ -163,6 +169,11 @@ func main() {
 			tracer = padc.NewLifecycle(0)
 			cfg.Lifecycle = tracer
 		}
+		var rec *flight.Recorder
+		if *heatmapOut != "" {
+			rec = padc.NewFlightRecorder(*epoch, 0)
+			cfg.Flight = rec
+		}
 		cfg.Profile = *profile
 		if *httpAddr != "" {
 			serveHTTP(*httpAddr, tel)
@@ -172,8 +183,13 @@ func main() {
 			fatal(err)
 		}
 		report(res, *verbose)
+		if rec != nil {
+			if err := exportHeatmap(rec, *heatmapOut); err != nil {
+				fatal(err)
+			}
+		}
 		if tel != nil {
-			if err := exportTelemetry(tel, tracer, *metricsOut, *traceOut, *eventsOut); err != nil {
+			if err := exportTelemetry(tel, tracer, rec, *metricsOut, *traceOut, *eventsOut); err != nil {
 				fatal(err)
 			}
 			fmt.Print(exp.TelemetryTable(tel))
@@ -420,21 +436,39 @@ func report(res padc.Result, verbose bool) {
 }
 
 // exportTelemetry writes the requested telemetry artifacts. When a
-// lifecycle tracer is active its spans are interleaved into the Chrome
-// trace alongside the event-ring slices.
-func exportTelemetry(tel *telemetry.Telemetry, tracer *lifecycle.Tracer, metrics, trace, events string) error {
+// lifecycle tracer or a flight recorder is active, its spans / per-bank
+// counter tracks are interleaved into the Chrome trace alongside the
+// event-ring slices.
+func exportTelemetry(tel *telemetry.Telemetry, tracer *lifecycle.Tracer, rec *flight.Recorder, metrics, trace, events string) error {
 	if err := writeFile(metrics, func(f *os.File) error { return tel.WriteCSV(f) }); err != nil {
 		return err
 	}
 	if err := writeFile(trace, func(f *os.File) error {
-		if tracer != nil {
-			return tel.WriteChromeTraceWith(f, tracer.ChromeSlices)
+		if tracer == nil && rec == nil {
+			return tel.WriteChromeTrace(f)
 		}
-		return tel.WriteChromeTrace(f)
+		return tel.WriteChromeTraceWith(f, func(emit func(format string, args ...any)) {
+			if tracer != nil {
+				tracer.ChromeSlices(emit)
+			}
+			rec.ChromeCounters(emit)
+		})
 	}); err != nil {
 		return err
 	}
 	return writeFile(events, func(f *os.File) error { return tel.WriteJSONL(f) })
+}
+
+// exportHeatmap writes the flight recorder's epoch × bank table, picking
+// the format from the extension: .jsonl streams one epoch object per
+// line, anything else is the long-form CSV.
+func exportHeatmap(rec *flight.Recorder, path string) error {
+	return writeFile(path, func(f *os.File) error {
+		if strings.HasSuffix(path, ".jsonl") {
+			return rec.WriteJSONL(f)
+		}
+		return rec.WriteCSV(f)
+	})
 }
 
 // exportLifecycle writes the requested lifecycle artifacts.

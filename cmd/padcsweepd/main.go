@@ -9,14 +9,22 @@
 // from the rows already on disk, converging on artifacts byte-identical
 // to an uninterrupted `padcsim -sweep` run.
 //
-//	padcsweepd serve -addr :8080 -data /var/lib/padcsweepd -jobs 8
+//	padcsweepd serve -addr :8080 -data /var/lib/padcsweepd -jobs 8 \
+//	    [-log-level debug|info|warn|error] [-log-json]
+//
+// The daemon binds its listener before replaying the data directory:
+// /healthz (liveness) answers immediately, while /readyz (readiness)
+// and the API return 503 until journal replay and campaign resume
+// finish. Logs are structured (log/slog) with campaign/job/request
+// correlation ids; -log-json switches them to JSON for log shippers.
 //
 // The remaining subcommands are thin clients for a running server:
 //
-//	padcsweepd submit -server http://host:8080 -spec sweep.json -wait
+//	padcsweepd submit -server http://host:8080 -spec sweep.json [-telemetry] -wait
 //	padcsweepd status -server http://host:8080 [campaign-id]
 //	padcsweepd rows -server http://host:8080 <campaign-id> [-offset N]
 //	padcsweepd artifact -server http://host:8080 <campaign-id> [-format csv|json] [-o out]
+//	padcsweepd telemetry -server http://host:8080 <campaign-id> [-partial] [-o out]
 //	padcsweepd cancel -server http://host:8080 <campaign-id>
 //
 // Sharded campaigns: submit the same spec to N cooperating servers with
@@ -30,6 +38,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"log/slog"
 	"net"
 	"net/http"
 	"os"
@@ -63,6 +72,8 @@ func main() {
 		err = rows(args)
 	case "artifact":
 		err = artifact(args)
+	case "telemetry":
+		err = telemetryCmd(args)
 	case "cancel":
 		err = cancel(args)
 	case "-h", "-help", "--help", "help":
@@ -85,6 +96,7 @@ func usage() {
   status    list campaigns, or show one campaign's status
   rows      stream a campaign's result rows as NDJSON
   artifact  download a campaign's merged CSV/JSON artifact
+  telemetry download a campaign's per-job flight roll-ups (NDJSON)
   cancel    cancel a running campaign
 
 Run 'padcsweepd <subcommand> -h' for that subcommand's flags.
@@ -101,21 +113,27 @@ func serve(args []string) error {
 	jobs := fs.Int("jobs", runtime.GOMAXPROCS(0), "default per-campaign worker-pool size")
 	addrFile := fs.String("addr-file", "", "write the bound listen address to this file (for scripts using port 0)")
 	noResume := fs.Bool("no-resume", false, "do not auto-resume interrupted campaigns on start")
+	logLevel := fs.String("log-level", "info", "minimum log level: debug, info, warn or error")
+	logJSON := fs.Bool("log-json", false, "emit structured logs as JSON instead of text")
 	fs.Parse(args)
 	if *data == "" {
 		return fmt.Errorf("serve: -data is required")
 	}
-
-	s, err := sweepd.NewService(sweepd.ServiceOptions{
-		DataDir: *data,
-		Workers: *jobs,
-		Resume:  !*noResume,
-		Logf:    log.Printf,
-	})
-	if err != nil {
-		return err
+	var level slog.Level
+	if err := level.UnmarshalText([]byte(*logLevel)); err != nil {
+		return fmt.Errorf("serve: bad -log-level %q: %w", *logLevel, err)
 	}
+	hopts := &slog.HandlerOptions{Level: level}
+	var handler slog.Handler = slog.NewTextHandler(os.Stderr, hopts)
+	if *logJSON {
+		handler = slog.NewJSONHandler(os.Stderr, hopts)
+	}
+	logger := slog.New(handler)
 
+	// Bind and serve the readiness gate before touching the data
+	// directory: liveness probes answer immediately, /readyz and the API
+	// hold at 503 while journal replay and campaign resume run, and
+	// scripts waiting on the addr file see it as soon as the port exists.
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		return err
@@ -130,17 +148,30 @@ func serve(args []string) error {
 			return err
 		}
 	}
-	log.Printf("serving on %s (data %s, %d workers)", ln.Addr(), *data, *jobs)
-
-	srv := &http.Server{Handler: s.Handler()}
+	gate := sweepd.NewGate()
+	srv := &http.Server{Handler: gate}
 	errc := make(chan error, 1)
 	go func() { errc <- srv.Serve(ln) }()
+	logger.Info("listening", "addr", ln.Addr().String(), "data", *data, "workers", *jobs)
+
+	s, err := sweepd.NewService(sweepd.ServiceOptions{
+		DataDir: *data,
+		Workers: *jobs,
+		Resume:  !*noResume,
+		Logger:  logger,
+	})
+	if err != nil {
+		srv.Close()
+		return err
+	}
+	gate.SetReady(s.Handler())
+	logger.Info("ready")
 
 	sigc := make(chan os.Signal, 1)
 	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
 	select {
 	case sig := <-sigc:
-		log.Printf("received %s, shutting down (running campaigns will resume on restart)", sig)
+		logger.Info("shutting down (running campaigns will resume on restart)", "signal", sig.String())
 	case err := <-errc:
 		s.Close()
 		return err
@@ -187,6 +218,7 @@ func submit(args []string) error {
 	specPath := fs.String("spec", "", "JSON sweep spec file (required)")
 	workers := fs.Int("workers", 0, "campaign worker-pool size (0 = server default)")
 	verify := fs.Bool("verify", false, "run accounting-invariant checks on every job")
+	telemetry := fs.Bool("telemetry", false, "record per-job flight-recorder roll-ups (GET .../telemetry)")
 	shardStr := fs.String("shard", "", "grid shard this server owns, as index/count (e.g. 0/4)")
 	wait := fs.Bool("wait", false, "block until the campaign reaches a terminal state")
 	csvOut := fs.String("csv", "", "with -wait: download the merged CSV artifact to this file")
@@ -209,7 +241,7 @@ func submit(args []string) error {
 	}
 	ctx := context.Background()
 	info, err := cl.Submit(ctx, sweepd.SubmitRequest{
-		Spec: spec, Workers: *workers, Verify: *verify, Shard: shard,
+		Spec: spec, Workers: *workers, Verify: *verify, Shard: shard, Telemetry: *telemetry,
 	})
 	if err != nil {
 		return err
@@ -347,6 +379,37 @@ func artifact(args []string) error {
 	data, err := cl.Artifact(context.Background(), fs.Arg(0), *format)
 	if err != nil {
 		return err
+	}
+	_, err = os.Stdout.Write(data)
+	return err
+}
+
+// telemetryCmd downloads a campaign's per-job flight roll-ups (NDJSON,
+// one record per executed job) — the fleet-side replacement for shell
+// access to the server's telemetry sidecars.
+func telemetryCmd(args []string) error {
+	fs := flag.NewFlagSet("telemetry", flag.ExitOnError)
+	server := clientFlags(fs)
+	partial := fs.Bool("partial", false, "fetch records collected so far on an incomplete campaign")
+	out := fs.String("o", "", "output file (default stdout)")
+	fs.Parse(args)
+	if fs.NArg() != 1 {
+		return fmt.Errorf("telemetry: want exactly one campaign id")
+	}
+	cl, err := newClient(*server)
+	if err != nil {
+		return err
+	}
+	data, err := cl.Telemetry(context.Background(), fs.Arg(0), *partial)
+	if err != nil {
+		return err
+	}
+	if *out != "" {
+		if err := os.WriteFile(*out, data, 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s (%d bytes)\n", *out, len(data))
+		return nil
 	}
 	_, err = os.Stdout.Write(data)
 	return err

@@ -19,6 +19,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"log"
+	"log/slog"
 	"net/http/httptest"
 	"os"
 	"time"
@@ -61,7 +62,8 @@ func main() {
 
 	// Start the service and submit the campaign over HTTP.
 	svc, err := sweepd.NewService(sweepd.ServiceOptions{
-		DataDir: dir, Workers: 2, Resume: true, Logf: log.Printf,
+		DataDir: dir, Workers: 2, Resume: true,
+		Logger: slog.New(slog.NewTextHandler(os.Stderr, nil)),
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -94,7 +96,8 @@ func main() {
 	// A fresh service over the same data directory replays the journal and
 	// resumes: journaled rows are reused, only the remainder re-executes.
 	svc2, err := sweepd.NewService(sweepd.ServiceOptions{
-		DataDir: dir, Workers: 2, Resume: true, Logf: log.Printf,
+		DataDir: dir, Workers: 2, Resume: true,
+		Logger: slog.New(slog.NewTextHandler(os.Stderr, nil)),
 	})
 	if err != nil {
 		log.Fatal(err)

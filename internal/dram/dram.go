@@ -204,12 +204,30 @@ func (b *Bank) State(row uint64) RowState {
 	}
 }
 
+// Observer receives per-access bank-state transitions as the channel
+// decides them. The flight recorder attaches one per channel; the hook
+// reports precharges the controller never sees (the closed-page policy's
+// hidden precharge, the adaptive predictor's close, the refresh
+// precharge), so transition counts are exact. A nil observer costs one
+// pointer compare per access.
+type Observer interface {
+	// BankAccess reports one serviced request: the row-buffer state it
+	// found, how many rows it activated (0 or 1) and how many precharges
+	// it caused (0–2: a conflict precharges before the access, and a
+	// closing page policy may precharge again after it).
+	BankAccess(bank int, state RowState, opens, closes int)
+	// BankRefresh reports a maintenance operation occupying the bank;
+	// closedRow is true when it had to precharge an open row.
+	BankRefresh(bank int, closedRow bool)
+}
+
 // Channel is one memory controller's DRAM resources: its banks plus the
 // shared data bus.
 type Channel struct {
 	cfg       Config
 	page      PagePolicy
 	pred      []pagePredictor // per-bank predictors (AdaptivePage only)
+	obs       Observer
 	Banks     []Bank
 	busUntil  uint64 // data bus reserved through this cycle
 	completed uint64
@@ -246,6 +264,9 @@ func NewChannel(cfg Config) *Channel {
 // Config returns the geometry this channel was built with.
 func (ch *Channel) Config() Config { return ch.cfg }
 
+// Observe attaches (or, with nil, detaches) the transition observer.
+func (ch *Channel) Observe(o Observer) { ch.obs = o }
+
 // BankReady reports whether bank b can accept a request at cycle now.
 func (ch *Channel) BankReady(b int, now uint64) bool {
 	return ch.Banks[b].BusyUntil <= now
@@ -274,16 +295,20 @@ func (ch *Channel) Issue(bank int, row, now uint64, keepOpen bool) (finish uint6
 	ch.busUntil = finish
 	b.BusyUntil = finish
 
+	opens, closes := 0, 0
 	switch state {
 	case RowHit:
 		b.Hits++
 	case RowClosed:
 		b.Closed++
 		ch.Activations++
+		opens++
 	default:
 		b.Conflicts++
 		ch.Activations++
 		ch.Precharges++
+		opens++
+		closes++
 	}
 	ch.BusBusyCycles += ch.cfg.Timing.Burst
 
@@ -293,6 +318,7 @@ func (ch *Channel) Issue(bank int, row, now uint64, keepOpen bool) (finish uint6
 			b.OpenRow = int64(row)
 		} else {
 			ch.Precharges++ // the closed-row policy's hidden precharge
+			closes++
 			b.OpenRow = -1
 		}
 	case AdaptivePage:
@@ -303,6 +329,7 @@ func (ch *Channel) Issue(bank int, row, now uint64, keepOpen bool) (finish uint6
 		} else {
 			ch.Precharges++
 			ch.PredCloses++
+			closes++
 			b.OpenRow = -1
 		}
 		p.lastRow = int64(row)
@@ -310,6 +337,9 @@ func (ch *Channel) Issue(bank int, row, now uint64, keepOpen bool) (finish uint6
 		b.OpenRow = int64(row)
 	}
 	ch.completed++
+	if ch.obs != nil {
+		ch.obs.BankAccess(bank, state, opens, closes)
+	}
 	return finish, state
 }
 
@@ -320,12 +350,16 @@ func (ch *Channel) Issue(bank int, row, now uint64, keepOpen bool) (finish uint6
 // BankReady.
 func (ch *Channel) Refresh(b int, until uint64) {
 	bank := &ch.Banks[b]
-	if bank.OpenRow >= 0 {
+	closedRow := bank.OpenRow >= 0
+	if closedRow {
 		ch.Precharges++ // refresh implies precharging the open row
 	}
 	bank.OpenRow = -1
 	bank.BusyUntil = until
 	ch.Refreshes++
+	if ch.obs != nil {
+		ch.obs.BankRefresh(b, closedRow)
+	}
 }
 
 // Completed returns the number of requests this channel has serviced.

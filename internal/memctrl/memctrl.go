@@ -22,6 +22,7 @@ import (
 	"padc/internal/dram/refresh"
 	"padc/internal/memctrl/sched"
 	"padc/internal/telemetry"
+	"padc/internal/telemetry/flight"
 )
 
 // Policy selects the scheduling priority order. The enum values are the
@@ -180,6 +181,11 @@ type Controller struct {
 	tel   *telemetry.Telemetry // nil unless Instrument was called
 	telID int16                // controller index in event records
 
+	// flight is the optional bank-state flight recorder (nil when off);
+	// flightCh is this controller's channel index in its geometry.
+	flight   *flight.Recorder
+	flightCh int
+
 	// Stats.
 	Enqueued    uint64
 	RejectsFull uint64
@@ -265,6 +271,49 @@ func (c *Controller) Instrument(tel *telemetry.Telemetry, id int) {
 		tel.CounterFunc(dpre+"/refreshes_forced", func() uint64 { return eng.Forced })
 		tel.CounterFunc(dpre+"/refresh_blocked_cycles", func() uint64 { return eng.BlockedCycles })
 	}
+}
+
+// flightObserver adapts the DRAM channel's transition hook onto the
+// flight recorder, pinning the channel index and translating the row
+// state into the recorder's import-free Outcome vocabulary.
+type flightObserver struct {
+	rec *flight.Recorder
+	ch  int
+}
+
+func (o flightObserver) BankAccess(bank int, state dram.RowState, opens, closes int) {
+	out := flight.OutcomeHit
+	switch state {
+	case dram.RowClosed:
+		out = flight.OutcomeClosed
+	case dram.RowConflict:
+		out = flight.OutcomeConflict
+	}
+	o.rec.NoteAccess(o.ch, bank, out, opens, closes)
+}
+
+func (o flightObserver) BankRefresh(bank int, closedRow bool) {
+	o.rec.NoteRefresh(o.ch, bank, closedRow)
+}
+
+// AttachFlight connects the bank-state flight recorder: the DRAM channel
+// reports row-buffer outcomes and open/close transitions through an
+// observer, the controller adds demand/prefetch issue classes and
+// refresh-blocked slots, and the recorder samples this controller's
+// cumulative rule-win counters at epoch rotation for per-epoch
+// attribution. ch is this controller's index in the recorder's geometry
+// (the recorder must already be Configured). A nil recorder is a no-op.
+func (c *Controller) AttachFlight(rec *flight.Recorder, ch int) {
+	if rec == nil {
+		return
+	}
+	c.flight, c.flightCh = rec, ch
+	c.channel.Observe(flightObserver{rec: rec, ch: ch})
+	names, _ := c.RuleWins()
+	rec.AttachRules(ch, names, func() []uint64 {
+		_, wins := c.RuleWins()
+		return wins
+	})
 }
 
 // AttachRefresh puts the controller in charge of scheduling eng's refresh
@@ -511,6 +560,7 @@ func (c *Controller) Tick(now uint64, ncores int) []*Request {
 			// The bank is mid-refresh or past its forced deadline: requests
 			// wait, and the wait is charged to the refresh engine.
 			c.refresh.NoteBlocked()
+			c.flight.NoteBlocked(c.flightCh, b)
 			continue
 		}
 		if !c.channel.BankReady(b, now) {
@@ -642,6 +692,7 @@ func (c *Controller) issue(b, idx int, now uint64) {
 	r.ServiceAt = now
 	c.inflight = append(c.inflight, r)
 	c.Serviced++
+	c.flight.NoteIssue(c.flightCh, b, r.Prefetch)
 	if c.tel != nil {
 		c.tel.Emit(telemetry.Event{
 			Cycle: now, Kind: telemetry.EvIssue, Pref: r.Prefetch, A: finish,

@@ -12,6 +12,7 @@ import (
 
 	"padc/internal/sim"
 	"padc/internal/stats"
+	"padc/internal/telemetry/flight"
 	"padc/internal/telemetry/lifecycle"
 )
 
@@ -137,6 +138,22 @@ type Options struct {
 	// just before a job actually executes; reused jobs never trigger it.
 	// It is the queued→running transition hook for live metrics.
 	Start func(Job)
+	// Flight, when enabled, attaches a bank-state flight recorder to every
+	// executed job and stores its summary on the row (JobResult.Flight).
+	Flight FlightOptions
+}
+
+// FlightOptions configures the optional per-job flight recorder (see
+// internal/telemetry/flight). The summary is a deterministic function of
+// the job's configuration, so enabling it never perturbs the metric
+// columns and the recorded roll-up is identical across worker counts.
+type FlightOptions struct {
+	// Enabled turns the recorder on; the zero value keeps jobs untouched.
+	Enabled bool
+	// EpochCycles overrides the rotation period; 0 uses the flight default.
+	EpochCycles uint64
+	// MaxEpochs overrides the retained-ring bound; 0 uses the flight default.
+	MaxEpochs int
 }
 
 // JobResult is one job's merged row. Every field except the unexported
@@ -181,6 +198,12 @@ type JobResult struct {
 	// keyed by metric name so new metrics extend the JSON without schema
 	// churn.
 	Telemetry map[string]float64 `json:"telemetry,omitempty"`
+
+	// Flight is the bank-state flight-recorder roll-up (per-epoch ×
+	// per-bank row outcomes, transitions, rule-win attribution), present
+	// only when Options.Flight.Enabled — absent, artifacts stay
+	// byte-identical to their pre-flight form.
+	Flight *flight.Summary `json:"flight,omitempty"`
 
 	wall time.Duration // measured latency; never serialized
 }
@@ -282,7 +305,7 @@ func RunContext(ctx context.Context, spec Spec, opts Options) (*SweepResult, err
 				opts.Start(jobs[i])
 				mu.Unlock()
 			}
-			r = runJob(jobs[i], opts.Verify)
+			r = runJob(jobs[i], opts.Verify, opts.Flight)
 		}
 		results[i] = r
 		ran[i] = true
@@ -395,7 +418,7 @@ func gatherStats(results []JobResult, workers int, wall time.Duration) RunStats 
 
 // runJob executes one job, converting panics and invariant violations
 // into a failed-row result.
-func runJob(j Job, verify bool) (out JobResult) {
+func runJob(j Job, verify bool, fo FlightOptions) (out JobResult) {
 	out = JobResult{
 		Index: j.Index, Key: j.Key, Seed: j.Seed,
 		Policy: j.Policy, Prefetcher: j.Prefetcher,
@@ -418,6 +441,11 @@ func runJob(j Job, verify bool) (out JobResult) {
 		lc = lifecycle.New(lifecycle.Options{})
 		cfg.Lifecycle = lc
 	}
+	var rec *flight.Recorder
+	if fo.Enabled {
+		rec = flight.New(flight.Options{EpochCycles: fo.EpochCycles, MaxEpochs: fo.MaxEpochs})
+		cfg.Flight = rec
+	}
 	res, err := sim.Run(cfg)
 	if err != nil {
 		out.Err = err.Error()
@@ -428,6 +456,9 @@ func runJob(j Job, verify bool) (out JobResult) {
 			out.Err = "invariant violation: " + errs[0].Error()
 			return out
 		}
+	}
+	if rec != nil {
+		out.Flight = rec.Summary()
 	}
 	out.fill(res)
 	return out

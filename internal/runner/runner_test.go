@@ -156,13 +156,13 @@ func TestSweepPanicBecomesFailedRow(t *testing.T) {
 	// pattern) must be recovered.
 	j := jobs[0]
 	j.Config.Workload = nil // sim: empty workload -> error
-	r := runJob(j, false)
+	r := runJob(j, false, FlightOptions{})
 	if r.Err == "" {
 		t.Fatal("invalid config produced no error row")
 	}
 	j = jobs[1]
 	j.Config.Workload[0].Gen.Pattern = nil // nil pattern -> panic in trace.Gen.At
-	r = runJob(j, false)
+	r = runJob(j, false, FlightOptions{})
 	if r.Err == "" || !strings.Contains(r.Err, "panic") {
 		t.Fatalf("panicking job not recovered into a failed row: %q", r.Err)
 	}

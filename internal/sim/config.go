@@ -12,6 +12,7 @@ import (
 	"padc/internal/dram"
 	"padc/internal/memctrl"
 	"padc/internal/telemetry"
+	"padc/internal/telemetry/flight"
 	"padc/internal/telemetry/lifecycle"
 	"padc/internal/workload"
 )
@@ -106,6 +107,15 @@ type Config struct {
 	// events; see internal/telemetry. Nil — the default — disables all
 	// instrumentation, leaving the hot path with only nil compares.
 	Telemetry *telemetry.Telemetry
+
+	// Flight, when non-nil, is the bank-state flight recorder: bounded
+	// per-epoch × per-bank accounting of row outcomes, open/close
+	// transitions, demand/prefetch issues, refresh interference and
+	// rule-win attribution; see internal/telemetry/flight. The system
+	// configures its geometry, attaches it to every controller, and
+	// rotates epochs in the run loop. Nil — the default — costs one
+	// pointer compare at each hook.
+	Flight *flight.Recorder
 
 	// Lifecycle, when non-nil, receives one span per completed or dropped
 	// memory request (queue-wait vs. service decomposition, request class,

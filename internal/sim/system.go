@@ -109,11 +109,17 @@ func New(cfg Config) (*System, error) {
 	if cfg.Rules != "" || cfg.Policy == memctrl.APS || cfg.Policy == memctrl.APSRank {
 		st = s.padc
 	}
+	if cfg.Flight != nil {
+		cfg.Flight.Configure(cfg.DRAM.Channels, cfg.DRAM.Banks)
+	}
 	for i := range s.chans {
 		s.chans[i] = dram.NewChannel(cfg.DRAM)
 		s.ctrls[i] = memctrl.NewStack(stack, s.chans[i], cfg.BufferSlots, st)
 		if cfg.DRAM.Refresh.Enabled() {
 			s.ctrls[i].AttachRefresh(refresh.NewEngine(cfg.DRAM.Refresh, cfg.DRAM.Banks))
+		}
+		if cfg.Flight != nil {
+			s.ctrls[i].AttachFlight(cfg.Flight, i)
 		}
 	}
 
@@ -617,6 +623,14 @@ func (s *System) Run() (stats.Results, error) {
 		nextSample = epoch
 	}
 
+	// Flight-recorder rotation runs on its own period, same disabled-cost
+	// trick as epoch sampling: one compare per cycle when off.
+	fEpoch := cfg.Flight.EpochCycles()
+	nextRotate := ^uint64(0)
+	if fEpoch > 0 {
+		nextRotate = fEpoch
+	}
+
 	remaining := len(s.cores)
 	for remaining > 0 && s.cycle < maxCycles {
 		s.cycle++
@@ -652,6 +666,11 @@ func (s *System) Run() (stats.Results, error) {
 			nextSample += epoch
 		}
 
+		if now >= nextRotate {
+			cfg.Flight.Rotate(now)
+			nextRotate += fEpoch
+		}
+
 		if now >= nextInterval {
 			s.padc.EndInterval()
 			for _, cs := range s.cores {
@@ -682,6 +701,9 @@ func (s *System) Run() (stats.Results, error) {
 	if epoch > 0 && s.cycle > lastSample {
 		s.tel.Sample(s.cycle)
 	}
+	// Likewise the flight recorder's partial last epoch (a no-op when the
+	// run ended exactly on a rotation boundary).
+	cfg.Flight.Rotate(s.cycle)
 
 	if remaining > 0 {
 		// Safety bound hit: freeze stragglers so results stay meaningful,

@@ -17,15 +17,21 @@
 //
 // API surface (JSON over HTTP, see Service.Handler):
 //
-//	POST /api/v1/campaigns            submit {spec, workers, verify, shard}
+//	POST /api/v1/campaigns            submit {spec, workers, verify, shard, telemetry}
 //	GET  /api/v1/campaigns            list campaign summaries
 //	GET  /api/v1/campaigns/{id}       one campaign's status
 //	POST /api/v1/campaigns/{id}/cancel
 //	GET  /api/v1/campaigns/{id}/rows  NDJSON row stream (?offset=N resumes)
 //	GET  /api/v1/campaigns/{id}/artifact.csv
 //	GET  /api/v1/campaigns/{id}/artifact.json
-//	GET  /metrics                     Prometheus exposition
-//	GET  /healthz
+//	GET  /api/v1/campaigns/{id}/telemetry  per-job flight roll-ups, NDJSON
+//	GET  /metrics                     Prometheus exposition (incl. per-route RED)
+//	GET  /healthz                     liveness (process up)
+//	GET  /readyz                      readiness (journal replay finished)
+//
+// Every response carries an X-Request-ID (propagated from the request
+// when present), and every request is counted, timed, and access-logged
+// by the middleware in middleware.go.
 package sweepd
 
 import (
@@ -49,6 +55,11 @@ type SubmitRequest struct {
 	// servers submit the same spec with different shard indexes and union
 	// the rows afterwards (runner.MergeRows).
 	Shard runner.Shard `json:"shard,omitempty"`
+	// Telemetry attaches a bank-state flight recorder to every job and
+	// journals the per-job roll-ups to the campaign's telemetry sidecar,
+	// served at GET /api/v1/campaigns/{id}/telemetry. Row artifacts are
+	// unchanged either way.
+	Telemetry bool `json:"telemetry,omitempty"`
 }
 
 // CampaignInfo is the wire status of one campaign.
@@ -57,6 +68,9 @@ type CampaignInfo struct {
 	Name  string       `json:"name"`
 	State string       `json:"state"`
 	Shard runner.Shard `json:"shard,omitempty"`
+	// Telemetry reports whether the campaign records the per-job flight
+	// sidecar.
+	Telemetry bool `json:"telemetry,omitempty"`
 
 	// Total counts the jobs this campaign owns (its shard's slice of the
 	// grid); Done includes Failed and Reused.

@@ -2,6 +2,7 @@ package sweepd
 
 import (
 	"context"
+	"path/filepath"
 	"sync"
 
 	"padc/internal/runner"
@@ -57,13 +58,14 @@ type subscriber struct {
 // attached row streams. All mutable state is guarded by mu; the run loop
 // lives in Service.start.
 type Campaign struct {
-	ID      string
-	spec    runner.Spec
-	shard   runner.Shard
-	workers int
-	verify  bool
-	total   int
-	dir     string
+	ID        string
+	spec      runner.Spec
+	shard     runner.Shard
+	workers   int
+	verify    bool
+	telemetry bool
+	total     int
+	dir       string
 
 	metrics *campaignMetrics
 
@@ -92,6 +94,7 @@ func (c *Campaign) Info() CampaignInfo {
 		Name:          c.spec.Name,
 		State:         c.state.String(),
 		Shard:         c.shard,
+		Telemetry:     c.telemetry,
 		Total:         c.total,
 		Done:          len(c.rows),
 		Running:       c.running,
@@ -104,6 +107,17 @@ func (c *Campaign) Info() CampaignInfo {
 
 // Spec returns the campaign's parsed sweep spec.
 func (c *Campaign) Spec() runner.Spec { return c.spec }
+
+// Telemetry reports whether the campaign records per-job flight
+// telemetry into its sidecar.
+func (c *Campaign) Telemetry() bool { return c.telemetry }
+
+// TelemetryRecords reads the campaign's telemetry sidecar back from
+// disk: deduplicated, sorted by (key, index) — deterministic bytes once
+// the campaign completes, regardless of worker count or resume history.
+func (c *Campaign) TelemetryRecords() ([]TelemetryRecord, error) {
+	return readTelemetry(filepath.Join(c.dir, telemetryName))
+}
 
 // Result merges the rows completed so far into the deterministic
 // artifact shape. Once the campaign is completed this is byte-identical

@@ -183,11 +183,11 @@ func (c *Client) Wait(ctx context.Context, id string, poll time.Duration, progre
 	}
 }
 
-// Artifact downloads the merged artifact ("csv" or "json") verbatim —
-// bytes straight off the wire, preserving the byte-identity contract.
-func (c *Client) Artifact(ctx context.Context, id, format string) ([]byte, error) {
-	req, err := http.NewRequestWithContext(ctx, http.MethodGet,
-		c.url("/api/v1/campaigns/"+url.PathEscape(id)+"/artifact."+format, nil), nil)
+// raw downloads one endpoint's body verbatim — bytes straight off the
+// wire, preserving the byte-identity contract — converting the JSON
+// error envelope on non-200s.
+func (c *Client) raw(ctx context.Context, path string, query url.Values, what string) ([]byte, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.url(path, query), nil)
 	if err != nil {
 		return nil, err
 	}
@@ -207,7 +207,23 @@ func (c *Client) Artifact(ctx context.Context, id, format string) ([]byte, error
 		if json.Unmarshal(data, &envelope) == nil && envelope.Error != "" {
 			return nil, fmt.Errorf("sweepd: server: %s", envelope.Error)
 		}
-		return nil, fmt.Errorf("sweepd: artifact: server returned %s", resp.Status)
+		return nil, fmt.Errorf("sweepd: %s: server returned %s", what, resp.Status)
 	}
 	return data, nil
+}
+
+// Artifact downloads the merged artifact ("csv" or "json") verbatim.
+func (c *Client) Artifact(ctx context.Context, id, format string) ([]byte, error) {
+	return c.raw(ctx, "/api/v1/campaigns/"+url.PathEscape(id)+"/artifact."+format, nil, "artifact")
+}
+
+// Telemetry downloads the campaign's per-job flight roll-ups as NDJSON
+// (one TelemetryRecord per line, sorted by key). partial asks for the
+// records collected so far on a campaign that has not completed yet.
+func (c *Client) Telemetry(ctx context.Context, id string, partial bool) ([]byte, error) {
+	var q url.Values
+	if partial {
+		q = url.Values{"partial": []string{"1"}}
+	}
+	return c.raw(ctx, "/api/v1/campaigns/"+url.PathEscape(id)+"/telemetry", q, "telemetry")
 }

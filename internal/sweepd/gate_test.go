@@ -1,0 +1,120 @@
+package sweepd
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// TestGateReadiness pins the bind-before-replay contract: the gate
+// answers liveness immediately while everything else — including
+// readiness — returns 503 until the service behind it is installed.
+func TestGateReadiness(t *testing.T) {
+	g := NewGate()
+	if g.Ready() {
+		t.Fatal("fresh gate reports ready")
+	}
+
+	get := func(path string) *httptest.ResponseRecorder {
+		rec := httptest.NewRecorder()
+		g.ServeHTTP(rec, httptest.NewRequest("GET", path, nil))
+		return rec
+	}
+
+	if rec := get("/healthz"); rec.Code != http.StatusOK {
+		t.Errorf("/healthz before ready = %d, want 200", rec.Code)
+	}
+	for _, path := range []string{"/readyz", "/api/v1/campaigns", "/metrics"} {
+		rec := get(path)
+		if rec.Code != http.StatusServiceUnavailable {
+			t.Errorf("%s before ready = %d, want 503", path, rec.Code)
+		}
+		if rec.Header().Get("Retry-After") == "" {
+			t.Errorf("%s before ready missing Retry-After", path)
+		}
+	}
+
+	s := newTestService(t, t.TempDir(), 1)
+	defer s.Close()
+	g.SetReady(s.Handler())
+	if !g.Ready() {
+		t.Fatal("gate not ready after SetReady")
+	}
+	if rec := get("/readyz"); rec.Code != http.StatusOK || !strings.Contains(rec.Body.String(), "ready") {
+		t.Errorf("/readyz after ready = %d %q", rec.Code, rec.Body.String())
+	}
+	if rec := get("/healthz"); rec.Code != http.StatusOK {
+		t.Errorf("/healthz after ready = %d", rec.Code)
+	}
+	if rec := get("/api/v1/campaigns"); rec.Code != http.StatusOK {
+		t.Errorf("campaign list after ready = %d", rec.Code)
+	}
+}
+
+// TestRequestIDPropagation checks the correlation contract: a supplied
+// X-Request-ID is echoed back verbatim, and requests without one get a
+// generated ID in the response header.
+func TestRequestIDPropagation(t *testing.T) {
+	s := newTestService(t, t.TempDir(), 1)
+	defer s.Close()
+	h := s.Handler()
+
+	rec := httptest.NewRecorder()
+	req := httptest.NewRequest("GET", "/api/v1/campaigns", nil)
+	req.Header.Set("X-Request-ID", "caller-7")
+	h.ServeHTTP(rec, req)
+	if got := rec.Header().Get("X-Request-ID"); got != "caller-7" {
+		t.Errorf("supplied request ID not echoed: got %q", got)
+	}
+
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/api/v1/campaigns", nil))
+	if got := rec.Header().Get("X-Request-ID"); got == "" {
+		t.Error("no generated X-Request-ID on response")
+	}
+}
+
+// TestHTTPREDMetrics checks that the middleware's request/error/duration
+// series land on /metrics with the route pattern (not the raw path) as
+// the label, and that 5xx responses increment the error counter.
+func TestHTTPREDMetrics(t *testing.T) {
+	s := newTestService(t, t.TempDir(), 1)
+	defer s.Close()
+	h := s.Handler()
+
+	do := func(method, path string) {
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, httptest.NewRequest(method, path, nil))
+	}
+	do("GET", "/api/v1/campaigns")
+	do("GET", "/api/v1/campaigns/nope") // 404 from the handler
+	do("GET", "/no/such/route")         // unmatched by the mux
+	do("GET", "/readyz")
+
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	body := rec.Body.String()
+	for _, want := range []string{
+		`padc_sweepd_http_requests_total{route="GET /api/v1/campaigns",method="GET",code="200"} 1`,
+		`padc_sweepd_http_requests_total{route="GET /api/v1/campaigns/{id}",method="GET",code="404"} 1`,
+		`padc_sweepd_http_requests_total{route="GET /readyz",method="GET",code="200"} 1`,
+		`padc_sweepd_http_request_duration_seconds_bucket{route="GET /api/v1/campaigns",le="+Inf"} 1`,
+		`padc_sweepd_http_request_duration_seconds_count{route="GET /api/v1/campaigns"} 1`,
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("metrics missing %q", want)
+		}
+	}
+	// The unmatched route must collapse into a bounded label, never the
+	// raw request path (unbounded cardinality).
+	if strings.Contains(body, "/no/such/route") {
+		t.Error("raw unmatched path leaked into metric labels")
+	}
+	if !strings.Contains(body, `route="unmatched"`) {
+		t.Error(`unmatched request not recorded under route="unmatched"`)
+	}
+	if strings.Contains(body, "padc_sweepd_http_errors_total{") {
+		t.Error("error counter emitted series without any 5xx response")
+	}
+}

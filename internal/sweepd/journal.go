@@ -47,6 +47,9 @@ type journalHeader struct {
 	Total   int  `json:"total"`
 	Workers int  `json:"workers,omitempty"`
 	Verify  bool `json:"verify,omitempty"`
+	// Telemetry records whether the campaign writes the per-job flight
+	// sidecar, so a resumed run keeps recording.
+	Telemetry bool `json:"telemetry,omitempty"`
 }
 
 // journalLine is every line after the header.

@@ -20,6 +20,13 @@ type serviceMetrics struct {
 	rows        *telemetry.LiveVec // counter: rows delivered to stream subscribers
 	lag         *telemetry.LiveVec // gauge: completed rows not yet journaled
 	state       *telemetry.LiveVec // gauge: State enum value
+
+	// Per-route RED series, maintained by the HTTP middleware. The route
+	// label is the mux pattern, not the raw path, so cardinality stays
+	// bounded by the route table.
+	httpRequests *telemetry.LiveVec // counter: requests, by route/method/code
+	httpErrors   *telemetry.LiveVec // counter: 5xx responses, by route
+	httpDuration *telemetry.HistVec // histogram: request latency seconds, by route
 }
 
 func newServiceMetrics() *serviceMetrics {
@@ -35,6 +42,10 @@ func newServiceMetrics() *serviceMetrics {
 		rows:        reg.Counter("padc_sweepd_rows_streamed", "rows delivered to live stream subscribers", "campaign"),
 		lag:         reg.Gauge("padc_sweepd_checkpoint_lag", "completed rows not yet durably journaled", "campaign"),
 		state:       reg.Gauge("padc_sweepd_campaign_state", "campaign lifecycle state (0 pending, 1 running, 2 completed, 3 failed, 4 cancelled)", "campaign"),
+
+		httpRequests: reg.Counter("padc_sweepd_http_requests_total", "HTTP requests served, by route pattern, method and status code", "route", "method", "code"),
+		httpErrors:   reg.Counter("padc_sweepd_http_errors_total", "HTTP responses with a 5xx status, by route pattern", "route"),
+		httpDuration: reg.Histogram("padc_sweepd_http_request_duration_seconds", "HTTP request latency, by route pattern", nil, "route"),
 	}
 }
 

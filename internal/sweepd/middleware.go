@@ -1,0 +1,114 @@
+package sweepd
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"log/slog"
+	"net/http"
+	"strconv"
+	"time"
+)
+
+// ctxKey namespaces the package's context values.
+type ctxKey int
+
+const requestIDKey ctxKey = iota
+
+// RequestID returns the request's correlation id, set by the service
+// middleware ("" outside an instrumented request). Handlers put it on
+// their log lines so one request can be followed across the access log
+// and campaign events.
+func RequestID(ctx context.Context) string {
+	id, _ := ctx.Value(requestIDKey).(string)
+	return id
+}
+
+// newRequestID draws a random 8-hex-digit request id ("r" prefix keeps
+// it visually distinct from campaign ids).
+func newRequestID() string {
+	var b [4]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		panic(err) // crypto/rand never fails on supported platforms
+	}
+	return "r" + hex.EncodeToString(b[:])
+}
+
+// statusWriter captures the response status and size. It implements
+// http.Flusher unconditionally, delegating when the underlying writer
+// supports it — the NDJSON row stream depends on per-line flushes
+// surviving the wrap.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+	bytes  int64
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if w.status == 0 {
+		w.status = code
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(b []byte) (int, error) {
+	if w.status == 0 {
+		w.status = http.StatusOK
+	}
+	n, err := w.ResponseWriter.Write(b)
+	w.bytes += int64(n)
+	return n, err
+}
+
+func (w *statusWriter) Flush() {
+	if f, ok := w.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// instrument wraps the API mux with the service-wide HTTP middleware:
+// X-Request-ID accept-or-generate (echoed on the response and put in the
+// request context), per-route RED metrics (request count by method/code,
+// 5xx error count, duration histogram), and a structured access log.
+// The route label is the mux pattern ("GET /api/v1/campaigns/{id}"), so
+// per-campaign paths collapse into one bounded series per route; probe
+// and scrape routes log at Debug to keep steady-state Info logs quiet.
+func (s *Service) instrument(mux *http.ServeMux) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		rid := r.Header.Get("X-Request-ID")
+		if rid == "" {
+			rid = newRequestID()
+		}
+		w.Header().Set("X-Request-ID", rid)
+		r = r.WithContext(context.WithValue(r.Context(), requestIDKey, rid))
+
+		route := "unmatched"
+		if _, pattern := mux.Handler(r); pattern != "" {
+			route = pattern
+		}
+		sw := &statusWriter{ResponseWriter: w}
+		start := time.Now()
+		mux.ServeHTTP(sw, r)
+		elapsed := time.Since(start)
+
+		code := sw.status
+		if code == 0 {
+			code = http.StatusOK
+		}
+		s.metrics.httpRequests.With(route, r.Method, strconv.Itoa(code)).Inc()
+		if code >= 500 {
+			s.metrics.httpErrors.With(route).Inc()
+		}
+		s.metrics.httpDuration.With(route).Observe(elapsed.Seconds())
+
+		level := slog.LevelInfo
+		switch route {
+		case "GET /healthz", "GET /readyz", "GET /metrics":
+			level = slog.LevelDebug
+		}
+		s.logger.Log(r.Context(), level, "http request",
+			"request_id", rid, "method", r.Method, "path", r.URL.Path,
+			"route", route, "status", code, "bytes", sw.bytes,
+			"duration_ms", float64(elapsed.Microseconds())/1000)
+	})
+}

@@ -1,0 +1,239 @@
+package sweepd
+
+import (
+	"context"
+	"encoding/json"
+	"net/http/httptest"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+var (
+	metricNameRe = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*$`)
+	labelNameRe  = regexp.MustCompile(`^[a-zA-Z_][a-zA-Z0-9_]*$`)
+)
+
+// splitSample breaks a sample line into name, label block (may be empty),
+// and value. Label values may themselves contain `}` (route patterns like
+// `{id}`), so the block is delimited by the LAST closing brace — the
+// value itself can never contain one.
+func splitSample(line string) (name, block, val string, ok bool) {
+	brace := strings.IndexByte(line, '{')
+	if brace < 0 {
+		sp := strings.IndexByte(line, ' ')
+		if sp < 0 {
+			return "", "", "", false
+		}
+		return line[:sp], "", line[sp+1:], true
+	}
+	close := strings.LastIndexByte(line, '}')
+	if close < brace || close+2 >= len(line) || line[close+1] != ' ' {
+		return "", "", "", false
+	}
+	return line[:brace], line[brace : close+1], line[close+2:], true
+}
+
+// parseLabels strictly decodes a `{name="value",...}` label block,
+// rejecting bare backslashes or quotes that the exposition format
+// requires to be escaped (`\\`, `\"`, `\n` are the only legal escapes).
+func parseLabels(t *testing.T, line, block string) map[string]string {
+	t.Helper()
+	labels := map[string]string{}
+	rest := strings.TrimSuffix(strings.TrimPrefix(block, "{"), "}")
+	for rest != "" {
+		eq := strings.Index(rest, "=")
+		if eq < 0 || len(rest) < eq+2 || rest[eq+1] != '"' {
+			t.Fatalf("malformed label block in %q", line)
+		}
+		name := rest[:eq]
+		if !labelNameRe.MatchString(name) {
+			t.Fatalf("illegal label name %q in %q", name, line)
+		}
+		// Scan the quoted value honoring escapes.
+		i := eq + 2
+		var val strings.Builder
+		for {
+			if i >= len(rest) {
+				t.Fatalf("unterminated label value in %q", line)
+			}
+			c := rest[i]
+			if c == '"' {
+				break
+			}
+			if c == '\n' {
+				t.Fatalf("raw newline in label value in %q", line)
+			}
+			if c == '\\' {
+				if i+1 >= len(rest) || (rest[i+1] != '\\' && rest[i+1] != '"' && rest[i+1] != 'n') {
+					t.Fatalf("illegal escape in label value in %q", line)
+				}
+				i++
+			}
+			val.WriteByte(c)
+			i++
+		}
+		labels[name] = val.String()
+		rest = rest[i+1:]
+		rest = strings.TrimPrefix(rest, ",")
+	}
+	return labels
+}
+
+// TestMetricsExpositionStrict scrapes a live /metrics endpoint after
+// driving real traffic (including a campaign whose ID lands in label
+// values) and strictly validates every line of the exposition: comment
+// structure, metric and label names, escaping, float-parseable values,
+// and histogram invariants (cumulative monotone buckets, le="+Inf" ==
+// _count).
+func TestMetricsExpositionStrict(t *testing.T) {
+	s := newTestService(t, t.TempDir(), 2)
+	defer s.Close()
+	srv := httptest.NewServer(s.Handler())
+	defer srv.Close()
+	cl, err := NewClient(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+
+	// Real traffic: a full campaign, some 404s, an unmatched route.
+	info, err := cl.Submit(ctx, SubmitRequest{Spec: json.RawMessage(testSpecJSON)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cl.Wait(ctx, info.ID, 0, nil); err != nil {
+		t.Fatal(err)
+	}
+	for _, path := range []string{"/api/v1/campaigns/absent", "/no/such/route", "/healthz", "/readyz"} {
+		rec := httptest.NewRecorder()
+		s.Handler().ServeHTTP(rec, httptest.NewRequest("GET", path, nil))
+	}
+
+	rec := httptest.NewRecorder()
+	s.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	body := rec.Body.String()
+	if !strings.HasSuffix(body, "\n") {
+		t.Fatal("exposition does not end in a newline")
+	}
+
+	typed := map[string]string{} // metric family -> TYPE
+	// Histogram bookkeeping keyed by series identity minus the le label.
+	buckets := map[string][]float64{} // ordered bucket counts as seen
+	counts := map[string]float64{}
+	sampleSeen := map[string]bool{}
+
+	var lastHelp, lastType string
+	for _, line := range strings.Split(strings.TrimRight(body, "\n"), "\n") {
+		if line == "" {
+			t.Fatal("blank line in exposition")
+		}
+		if strings.HasPrefix(line, "# HELP ") {
+			parts := strings.SplitN(line[len("# HELP "):], " ", 2)
+			if !metricNameRe.MatchString(parts[0]) {
+				t.Fatalf("bad metric name in %q", line)
+			}
+			lastHelp = parts[0]
+			continue
+		}
+		if strings.HasPrefix(line, "# TYPE ") {
+			parts := strings.SplitN(line[len("# TYPE "):], " ", 2)
+			if len(parts) != 2 || !metricNameRe.MatchString(parts[0]) {
+				t.Fatalf("bad TYPE line %q", line)
+			}
+			switch parts[1] {
+			case "counter", "gauge", "histogram":
+			default:
+				t.Fatalf("unknown type in %q", line)
+			}
+			if parts[0] != lastHelp {
+				t.Fatalf("TYPE %q not preceded by its HELP (last HELP %q)", parts[0], lastHelp)
+			}
+			if _, dup := typed[parts[0]]; dup {
+				t.Fatalf("family %q declared twice", parts[0])
+			}
+			typed[parts[0]] = parts[1]
+			lastType = parts[0]
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			t.Fatalf("unexpected comment %q", line)
+		}
+
+		name, block, valStr, ok := splitSample(line)
+		if !ok || !metricNameRe.MatchString(name) {
+			t.Fatalf("unparseable sample line %q", line)
+		}
+		val, err := strconv.ParseFloat(valStr, 64)
+		if err != nil && valStr != "+Inf" && valStr != "-Inf" && valStr != "NaN" {
+			t.Fatalf("unparseable value in %q: %v", line, err)
+		}
+
+		// Every sample must belong to the most recently declared family
+		// (counter/gauge: name itself; histogram: name_bucket/_sum/_count).
+		family := name
+		for _, suf := range []string{"_bucket", "_sum", "_count"} {
+			if typed[strings.TrimSuffix(name, suf)] == "histogram" {
+				family = strings.TrimSuffix(name, suf)
+			}
+		}
+		if typed[family] == "" {
+			t.Fatalf("sample %q has no TYPE declaration", line)
+		}
+		if family != lastType {
+			t.Fatalf("sample %q outside its family block (current family %q)", line, lastType)
+		}
+
+		labels := map[string]string{}
+		if block != "" {
+			labels = parseLabels(t, line, block)
+		}
+		// Series uniqueness: identical name+labels may appear once.
+		if sampleSeen[line[:len(line)-len(valStr)]] {
+			t.Fatalf("duplicate series %q", line)
+		}
+		sampleSeen[line[:len(line)-len(valStr)]] = true
+
+		if typed[family] == "histogram" {
+			// Key the series by labels minus le.
+			var kb strings.Builder
+			kb.WriteString(family)
+			for k, v := range labels {
+				if k != "le" {
+					kb.WriteString("|" + k + "=" + v)
+				}
+			}
+			key := kb.String()
+			switch name {
+			case family + "_bucket":
+				le := labels["le"]
+				if le == "" {
+					t.Fatalf("bucket without le label: %q", line)
+				}
+				buckets[key] = append(buckets[key], val)
+			case family + "_count":
+				counts[key] = val
+			}
+		} else if val < 0 && typed[family] == "counter" {
+			t.Fatalf("negative counter %q", line)
+		}
+	}
+
+	for key, bs := range buckets {
+		for i := 1; i < len(bs); i++ {
+			if bs[i] < bs[i-1] {
+				t.Fatalf("histogram %s buckets not cumulative: %v", key, bs)
+			}
+		}
+		if c, ok := counts[key]; !ok || bs[len(bs)-1] != c {
+			t.Fatalf("histogram %s +Inf bucket %v != _count %v", key, bs[len(bs)-1], counts[key])
+		}
+	}
+	if len(buckets) == 0 {
+		t.Fatal("no histogram series scraped — RED middleware not exporting durations")
+	}
+	if !strings.Contains(body, `campaign="`+info.ID+`"`) {
+		t.Fatal("campaign series missing from scrape")
+	}
+}

@@ -10,9 +10,14 @@ import (
 	"padc/internal/runner"
 )
 
-// Handler returns the service's HTTP surface (see the package comment for
-// the route table). It uses only net/http method patterns — no router
-// dependency.
+// Handler returns the service's HTTP surface (see the package comment
+// for the route table), wrapped in the request-id/RED-metrics/access-log
+// middleware. It uses only net/http method patterns — no router
+// dependency. Liveness (/healthz: the process is up) and readiness
+// (/readyz: replay finished, campaigns are servable) are split so
+// orchestration can restart a hung server without draining one that is
+// merely replaying a large journal — the pre-replay window is covered by
+// Gate, which answers /readyz with 503 until this handler is installed.
 func (s *Service) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /api/v1/campaigns", s.handleSubmit)
@@ -22,12 +27,19 @@ func (s *Service) Handler() http.Handler {
 	mux.HandleFunc("GET /api/v1/campaigns/{id}/rows", s.handleRows)
 	mux.HandleFunc("GET /api/v1/campaigns/{id}/artifact.csv", s.handleArtifact("csv"))
 	mux.HandleFunc("GET /api/v1/campaigns/{id}/artifact.json", s.handleArtifact("json"))
+	mux.HandleFunc("GET /api/v1/campaigns/{id}/telemetry", s.handleTelemetry)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "text/plain")
 		fmt.Fprintln(w, "ok")
 	})
-	return mux
+	mux.HandleFunc("GET /readyz", func(w http.ResponseWriter, _ *http.Request) {
+		// Reaching this handler is readiness: NewService finished replaying
+		// the data directory before the handler could be installed.
+		w.Header().Set("Content-Type", "text/plain")
+		fmt.Fprintln(w, "ready")
+	})
+	return s.instrument(mux)
 }
 
 // httpError is the JSON error envelope every non-2xx response uses.
@@ -199,7 +211,47 @@ func (s *Service) handleArtifact(format string) http.HandlerFunc {
 			err = res.WriteJSON(w)
 		}
 		if err != nil && !errors.Is(err, http.ErrHandlerTimeout) {
-			s.opts.Logf("campaign %s: writing artifact: %v", c.ID, err)
+			s.logger.Warn("writing artifact failed",
+				"campaign", c.ID, "request_id", RequestID(r.Context()), "err", err)
+		}
+	}
+}
+
+// handleTelemetry streams the campaign's per-job flight roll-ups as
+// NDJSON (one TelemetryRecord per line, sorted by key like the
+// artifacts). It mirrors the artifact contract: 409 before completion
+// unless ?partial=1, and 404 when the campaign was submitted without
+// telemetry.
+func (s *Service) handleTelemetry(w http.ResponseWriter, r *http.Request) {
+	c, ok := s.campaignFor(w, r)
+	if !ok {
+		return
+	}
+	if !c.Telemetry() {
+		httpError(w, http.StatusNotFound, fmt.Errorf(
+			"campaign %s was submitted without telemetry; resubmit with \"telemetry\": true", c.ID))
+		return
+	}
+	info := c.Info()
+	if info.State != StateCompleted.String() && r.URL.Query().Get("partial") != "1" {
+		httpError(w, http.StatusConflict, fmt.Errorf(
+			"campaign %s is %s (%d/%d rows); pass ?partial=1 for the records so far",
+			c.ID, info.State, info.Done, info.Total))
+		return
+	}
+	recs, err := c.TelemetryRecords()
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	enc := json.NewEncoder(w)
+	for i := range recs {
+		if err := enc.Encode(&recs[i]); err != nil {
+			s.logger.Warn("writing telemetry failed",
+				"campaign", c.ID, "request_id", RequestID(r.Context()), "err", err)
+			return
 		}
 	}
 }

@@ -7,6 +7,8 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
+	"log/slog"
 	"os"
 	"path/filepath"
 	"sort"
@@ -30,9 +32,11 @@ type ServiceOptions struct {
 	// re-run on startup. The server turns it on; tests that only want to
 	// inspect recovered state can leave it off.
 	Resume bool
-	// Logf, when non-nil, receives one-line service events (campaign
-	// started, resumed, finished).
-	Logf func(format string, args ...any)
+	// Logger, when non-nil, receives structured service events (campaign
+	// lifecycle at Info, per-job completions at Debug, HTTP access log via
+	// the middleware) with campaign/job/request correlation attributes.
+	// Nil discards everything.
+	Logger *slog.Logger
 }
 
 // Service owns the campaign registry: submit, recover-and-resume,
@@ -40,6 +44,7 @@ type ServiceOptions struct {
 // directory; shards of the same spec live on different Services.
 type Service struct {
 	opts    ServiceOptions
+	logger  *slog.Logger
 	metrics *serviceMetrics
 
 	mu        sync.Mutex
@@ -62,14 +67,15 @@ func NewService(opts ServiceOptions) (*Service, error) {
 	if opts.StreamWindow <= 0 {
 		opts.StreamWindow = defaultStreamWindow
 	}
-	if opts.Logf == nil {
-		opts.Logf = func(string, ...any) {}
+	if opts.Logger == nil {
+		opts.Logger = slog.New(slog.NewTextHandler(io.Discard, nil))
 	}
 	if err := os.MkdirAll(opts.DataDir, 0o755); err != nil {
 		return nil, err
 	}
 	s := &Service{
 		opts:      opts,
+		logger:    opts.Logger,
 		metrics:   newServiceMetrics(),
 		campaigns: make(map[string]*Campaign),
 	}
@@ -126,6 +132,7 @@ func (s *Service) Submit(req SubmitRequest) (*Campaign, error) {
 	hdr := journalHeader{
 		V: journalVersion, ID: id, Spec: spec, Shard: req.Shard,
 		Total: total, Workers: req.Workers, Verify: req.Verify,
+		Telemetry: req.Telemetry,
 	}
 	j, err := createJournal(filepath.Join(s.opts.DataDir, id, journalName), hdr)
 	if err != nil {
@@ -135,7 +142,8 @@ func (s *Service) Submit(req SubmitRequest) (*Campaign, error) {
 	s.metrics.campaigns.With("submit").Inc()
 	s.register(c)
 	s.start(c, j, nil)
-	s.opts.Logf("campaign %s: started (%d jobs, shard %s)", id, total, req.Shard)
+	s.logger.Info("campaign started",
+		"campaign", id, "jobs", total, "shard", req.Shard.String(), "telemetry", req.Telemetry)
 	return c, nil
 }
 
@@ -149,18 +157,19 @@ func (s *Service) newCampaign(id string, hdr journalHeader) *Campaign {
 	m := s.metrics.forCampaign(id)
 	m.jobsTotal.Set(float64(hdr.Total))
 	return &Campaign{
-		ID:      id,
-		spec:    hdr.Spec,
-		shard:   hdr.Shard,
-		workers: workers,
-		verify:  hdr.Verify,
-		total:   hdr.Total,
-		dir:     filepath.Join(s.opts.DataDir, id),
-		metrics: m,
-		doneIdx: make(map[int]bool),
-		subs:    make(map[*subscriber]bool),
-		window:  s.opts.StreamWindow,
-		done:    make(chan struct{}),
+		ID:        id,
+		spec:      hdr.Spec,
+		shard:     hdr.Shard,
+		workers:   workers,
+		verify:    hdr.Verify,
+		telemetry: hdr.Telemetry,
+		total:     hdr.Total,
+		dir:       filepath.Join(s.opts.DataDir, id),
+		metrics:   m,
+		doneIdx:   make(map[int]bool),
+		subs:      make(map[*subscriber]bool),
+		window:    s.opts.StreamWindow,
+		done:      make(chan struct{}),
 	}
 }
 
@@ -239,8 +248,8 @@ func (s *Service) recoverOne(id string) error {
 				recovered[r.Index] = r
 			}
 			s.start(c, j, recovered)
-			s.opts.Logf("campaign %s: resumed (%d/%d rows journaled, torn tail: %v)",
-				id, len(rec.rows), c.total, rec.torn)
+			s.logger.Info("campaign resumed",
+				"campaign", id, "journaled", len(rec.rows), "total", c.total, "torn", rec.torn)
 			return nil
 		}
 	default:
@@ -265,28 +274,53 @@ func (s *Service) start(c *Campaign, j *Journal, recovered map[int]runner.JobRes
 	c.metrics.state.Set(float64(StateRunning))
 
 	type doneRow struct {
-		row   runner.JobResult
-		fresh bool // false for journal-replayed rows
+		row    runner.JobResult
+		flight *TelemetryRecord // non-nil only for fresh rows with telemetry
+		fresh  bool             // false for journal-replayed rows
 	}
 	pending := make(chan doneRow, journalWindow)
 
-	// Journal writer: the only goroutine that appends rows. Counts both
-	// fresh (append + fsync policy) and replayed rows toward the durable
-	// watermark.
+	// The telemetry sidecar rides next to the journal; an open failure is
+	// surfaced through the journal-writer's error path — a telemetry
+	// campaign that cannot persist telemetry must not report completed.
+	var side *sidecar
+	var sideErr error
+	if c.telemetry {
+		side, sideErr = openSidecar(filepath.Join(c.dir, telemetryName))
+	}
+
+	// Journal writer: the only goroutine that appends rows (and telemetry
+	// records). Counts both fresh (append + fsync policy) and replayed
+	// rows toward the durable watermark.
 	journalDone := make(chan error, 1)
 	s.wg.Add(1)
 	go func() {
 		defer s.wg.Done()
 		durable := len(recovered)
-		var firstErr error
+		firstErr := sideErr
 		for dr := range pending {
 			if dr.fresh {
+				// Sidecar before journal: a crash between the two writes
+				// leaves an unjournaled row, which re-runs on resume and
+				// re-records (readTelemetry dedups; summaries are
+				// deterministic). The other order could journal a row whose
+				// flight record is lost forever — reused rows never re-run.
+				if dr.flight != nil && side != nil {
+					if err := side.Append(*dr.flight); err != nil && firstErr == nil {
+						firstErr = err
+					}
+				}
 				if err := j.AppendRow(dr.row); err != nil && firstErr == nil {
 					firstErr = err
 				}
 				durable++
 			}
 			c.markJournaled(durable)
+		}
+		if side != nil {
+			if err := side.Close(); err != nil && firstErr == nil {
+				firstErr = err
+			}
 		}
 		journalDone <- firstErr
 	}()
@@ -300,6 +334,7 @@ func (s *Service) start(c *Campaign, j *Journal, recovered map[int]runner.JobRes
 			Workers: c.workers,
 			Verify:  c.verify,
 			Shard:   c.shard,
+			Flight:  runner.FlightOptions{Enabled: c.telemetry},
 			Start: func(runner.Job) {
 				c.mu.Lock()
 				c.running++
@@ -307,6 +342,15 @@ func (s *Service) start(c *Campaign, j *Journal, recovered map[int]runner.JobRes
 				c.metrics.jobsRunning.Add(1)
 			},
 			Progress: func(done, total int, r runner.JobResult) {
+				// The flight summary never enters the rows, journal, or
+				// artifacts: reused rows could not reproduce it, so keeping it
+				// there would break resume byte-identity. It detours to the
+				// telemetry sidecar instead.
+				var fl *TelemetryRecord
+				if r.Flight != nil {
+					fl = &TelemetryRecord{Index: r.Index, Key: r.Key, Flight: r.Flight}
+					r.Flight = nil
+				}
 				fresh := true
 				if recovered != nil {
 					if _, ok := recovered[r.Index]; ok {
@@ -319,6 +363,9 @@ func (s *Service) start(c *Campaign, j *Journal, recovered map[int]runner.JobRes
 					c.mu.Unlock()
 					c.metrics.jobsRunning.Add(-1)
 					c.appendRow(r)
+					s.logger.Debug("job finished",
+						"campaign", c.ID, "job", r.Index, "key", r.Key,
+						"done", done, "total", total, "err", r.Err)
 				} else {
 					c.mu.Lock()
 					c.reused++
@@ -327,7 +374,7 @@ func (s *Service) start(c *Campaign, j *Journal, recovered map[int]runner.JobRes
 				}
 				// Blocks when the checkpoint window is full: bounded
 				// completed-but-unjournaled rows by construction.
-				pending <- doneRow{row: r, fresh: fresh}
+				pending <- doneRow{row: r, flight: fl, fresh: fresh}
 			},
 		}
 		if recovered != nil {
@@ -351,25 +398,25 @@ func (s *Service) start(c *Campaign, j *Journal, recovered map[int]runner.JobRes
 			s.mu.Unlock()
 			if closing {
 				c.closeSubs()
-				s.opts.Logf("campaign %s: interrupted by shutdown (resumable)", c.ID)
+				s.logger.Info("campaign interrupted by shutdown (resumable)", "campaign", c.ID)
 			} else {
 				_ = j.AppendEvent("cancelled", "")
 				c.setState(StateCancelled, "")
-				s.opts.Logf("campaign %s: cancelled", c.ID)
+				s.logger.Info("campaign cancelled", "campaign", c.ID)
 			}
 		case runErr != nil:
 			_ = j.AppendEvent("failed", runErr.Error())
 			c.setState(StateFailed, runErr.Error())
-			s.opts.Logf("campaign %s: failed: %v", c.ID, runErr)
+			s.logger.Error("campaign failed", "campaign", c.ID, "err", runErr)
 		case jerr != nil:
 			// Rows completed but the WAL is broken; completing would lie
 			// about durability.
 			c.setState(StateFailed, "journal: "+jerr.Error())
-			s.opts.Logf("campaign %s: journal error: %v", c.ID, jerr)
+			s.logger.Error("campaign journal error", "campaign", c.ID, "err", jerr)
 		default:
 			_ = j.AppendEvent("completed", "")
 			c.setState(StateCompleted, "")
-			s.opts.Logf("campaign %s: completed (%d rows)", c.ID, c.total)
+			s.logger.Info("campaign completed", "campaign", c.ID, "rows", c.total)
 		}
 		_ = j.Close()
 	}()

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"log/slog"
 	"net/http/httptest"
 	"strings"
 	"testing"
@@ -47,13 +48,27 @@ func localArtifacts(t *testing.T, specJSON string, workers int) (spec runner.Spe
 	return spec, cb.Bytes(), jb.Bytes()
 }
 
+// testLogger routes the service's structured logs (Debug and up, so the
+// per-job lines show too) into the test log.
+func testLogger(t *testing.T) *slog.Logger {
+	t.Helper()
+	return slog.New(slog.NewTextHandler(testLogWriter{t}, &slog.HandlerOptions{Level: slog.LevelDebug}))
+}
+
+type testLogWriter struct{ t *testing.T }
+
+func (w testLogWriter) Write(p []byte) (int, error) {
+	w.t.Logf("%s", bytes.TrimRight(p, "\n"))
+	return len(p), nil
+}
+
 func newTestService(t *testing.T, dir string, workers int) *Service {
 	t.Helper()
 	s, err := NewService(ServiceOptions{
 		DataDir: dir,
 		Workers: workers,
 		Resume:  true,
-		Logf:    t.Logf,
+		Logger:  testLogger(t),
 	})
 	if err != nil {
 		t.Fatal(err)

@@ -1,0 +1,125 @@
+package sweepd
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"errors"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"padc/internal/telemetry/flight"
+)
+
+// The telemetry sidecar is the journal's companion file: one JSONL line
+// per executed job carrying the job's flight-recorder summary. It is
+// kept out of the row journal on purpose — rows must stay byte-identical
+// across resume (a reused row never re-runs, so it could not reproduce a
+// summary), and the campaign artifacts must not change shape when
+// telemetry is enabled. Like the journal it is append-only and
+// torn-tail tolerant: a crash mid-append loses at most the line being
+// written, and the resumed run's re-executed jobs append fresh lines.
+// Readers deduplicate by grid index, first occurrence wins (summaries
+// are pure functions of the spec, so duplicates are identical anyway).
+
+// telemetryName is the sidecar file each campaign directory may hold.
+const telemetryName = "telemetry.jsonl"
+
+// TelemetryRecord is one line of the campaign telemetry sidecar and of
+// the GET /api/v1/campaigns/{id}/telemetry NDJSON stream: one job's
+// flight-recorder roll-up, addressed by the job's stable grid index and
+// sort key.
+type TelemetryRecord struct {
+	Index  int             `json:"index"`
+	Key    string          `json:"key"`
+	Flight *flight.Summary `json:"flight,omitempty"`
+}
+
+// sidecar is the append side, owned by the campaign's journal-writer
+// goroutine (appends are already serialized; no mutex needed).
+type sidecar struct {
+	f  *os.File
+	bw *bufio.Writer
+}
+
+// openSidecar opens (or creates) a campaign's telemetry sidecar for
+// appending. Resume reopens the same file and keeps appending — the
+// reader's first-wins dedup makes the overlap harmless.
+func openSidecar(path string) (*sidecar, error) {
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return nil, err
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	return &sidecar{f: f, bw: bufio.NewWriter(f)}, nil
+}
+
+// Append writes one record, flushed to the OS immediately so a SIGKILL
+// loses at most the in-flight line. No fsync per record: the sidecar is
+// derived data — a machine crash that loses lines only costs the resumed
+// run the re-execution it would do anyway.
+func (sc *sidecar) Append(rec TelemetryRecord) error {
+	data, err := json.Marshal(rec)
+	if err != nil {
+		return err
+	}
+	if _, err := sc.bw.Write(data); err != nil {
+		return err
+	}
+	if err := sc.bw.WriteByte('\n'); err != nil {
+		return err
+	}
+	return sc.bw.Flush()
+}
+
+// Close flushes and closes the sidecar.
+func (sc *sidecar) Close() error {
+	ferr := sc.bw.Flush()
+	cerr := sc.f.Close()
+	if ferr != nil {
+		return ferr
+	}
+	return cerr
+}
+
+// readTelemetry loads a campaign's sidecar: missing file means no
+// records (not an error), a torn or undecodable tail is dropped, records
+// are deduplicated by grid index (first wins) and returned sorted by
+// (key, index) — the same merge contract as the row artifacts, so the
+// served NDJSON is byte-identical across worker counts and resumes.
+func readTelemetry(path string) ([]TelemetryRecord, error) {
+	data, err := os.ReadFile(path)
+	if errors.Is(err, fs.ErrNotExist) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	var recs []TelemetryRecord
+	seen := make(map[int]bool)
+	for _, line := range bytes.Split(data, []byte("\n")) {
+		if len(line) == 0 {
+			continue
+		}
+		var rec TelemetryRecord
+		if err := json.Unmarshal(line, &rec); err != nil {
+			break // torn tail: everything before it is intact
+		}
+		if seen[rec.Index] {
+			continue
+		}
+		seen[rec.Index] = true
+		recs = append(recs, rec)
+	}
+	sort.Slice(recs, func(i, j int) bool {
+		if recs[i].Key != recs[j].Key {
+			return recs[i].Key < recs[j].Key
+		}
+		return recs[i].Index < recs[j].Index
+	})
+	return recs, nil
+}

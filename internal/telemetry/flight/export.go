@@ -1,0 +1,81 @@
+package flight
+
+import (
+	"bufio"
+	"encoding/json"
+	"io"
+	"strconv"
+)
+
+// cyclesPerMicro matches the telemetry package's Chrome trace_event
+// conversion (4GHz core clock: 4000 cycles per µs).
+const cyclesPerMicro = 4000.0
+
+// WriteCSV writes the retained epochs as a long-form heatmap table: one
+// row per (epoch, channel, bank), ready to pivot into an epoch × bank
+// heatmap. Output is a pure function of the recorded run.
+func (r *Recorder) WriteCSV(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	bw.WriteString("epoch,start,end,chan,bank,hits,closed,conflicts,opens,closes,demand,pref,refreshes,refresh_blocked\n")
+	if r == nil {
+		return bw.Flush()
+	}
+	for _, ep := range r.Epochs() {
+		for ch := 0; ch < r.channels; ch++ {
+			for b := 0; b < r.banks; b++ {
+				c := &ep.Cells[ch*r.banks+b]
+				for i, v := range [...]uint64{
+					uint64(ep.Index), ep.Start, ep.End, uint64(ch), uint64(b),
+					c.Hits, c.Closed, c.Conflicts, c.Opens, c.Closes,
+					c.Demand, c.Pref, c.Refreshes, c.RefreshBlocked,
+				} {
+					if i > 0 {
+						bw.WriteByte(',')
+					}
+					bw.WriteString(strconv.FormatUint(v, 10))
+				}
+				bw.WriteByte('\n')
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// WriteJSONL writes one JSON object per retained epoch, oldest first —
+// the streaming-friendly form of the same heatmap.
+func (r *Recorder) WriteJSONL(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if r == nil {
+		return bw.Flush()
+	}
+	enc := json.NewEncoder(bw)
+	for _, ep := range r.Epochs() {
+		if err := enc.Encode(ep); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ChromeCounters emits one Chrome trace_event counter ("C") sample per
+// bank per retained epoch, using the same pid/tid convention as the
+// telemetry event exporter (pid = memory controller, tid = bank), so
+// flight-recorder tracks interleave into the same trace file via
+// Telemetry.WriteChromeTraceWith.
+func (r *Recorder) ChromeCounters(emit func(format string, args ...any)) {
+	if r == nil {
+		return
+	}
+	for _, ep := range r.Epochs() {
+		ts := float64(ep.Start) / cyclesPerMicro
+		for ch := 0; ch < r.channels; ch++ {
+			for b := 0; b < r.banks; b++ {
+				c := &ep.Cells[ch*r.banks+b]
+				emit(`{"ph":"C","name":"bank%d rows","cat":"flight","ts":%.3f,"pid":%d,"tid":%d,"args":{"hits":%d,"closed":%d,"conflicts":%d}}`,
+					b, ts, ch, b, c.Hits, c.Closed, c.Conflicts)
+				emit(`{"ph":"C","name":"bank%d traffic","cat":"flight","ts":%.3f,"pid":%d,"tid":%d,"args":{"demand":%d,"pref":%d,"refresh_blocked":%d}}`,
+					b, ts, ch, b, c.Demand, c.Pref, c.RefreshBlocked)
+			}
+		}
+	}
+}

@@ -1,0 +1,370 @@
+// Package flight is the bank-state flight recorder: bounded per-epoch ×
+// per-bank accounting of what every DRAM bank did and why. Where the
+// epoch sampler in internal/telemetry answers "what did the whole system
+// do over time" and the event ring answers "what happened at cycle X",
+// the flight recorder answers "what was bank (c,b) doing during epoch e":
+// row hits/closed-row fills/conflicts, open/close (activate/precharge)
+// transitions, demand vs. prefetch issue counts, refresh activity and
+// refresh-blocked scheduling slots, plus per-epoch rule-win attribution
+// from the scheduler's rule stack.
+//
+// Like the rest of the telemetry layer it is disabled-by-default and
+// nil-safe: every method has a nil-receiver fast path, so the controller
+// and DRAM model hold a possibly-nil *Recorder and call it
+// unconditionally. Memory is bounded: the recorder keeps lifetime
+// per-bank totals plus a ring of the last MaxEpochs epochs — classic
+// flight-recorder semantics, the most recent history survives — so
+// arbitrarily long runs stay O(MaxEpochs × banks).
+package flight
+
+// Outcome classifies one bank access by row-buffer state, mirroring the
+// DRAM model's hit/closed/conflict taxonomy without importing it.
+type Outcome uint8
+
+const (
+	// OutcomeHit is a row-buffer hit (row already open).
+	OutcomeHit Outcome = iota
+	// OutcomeClosed is an access to a precharged bank (activate, no
+	// conflict).
+	OutcomeClosed
+	// OutcomeConflict is a row conflict (wrong row open: precharge then
+	// activate).
+	OutcomeConflict
+)
+
+// Cell is one bank's accounting for one epoch (or, in Summary.Totals,
+// for the whole run).
+type Cell struct {
+	// Hits, Closed and Conflicts count accesses by row-buffer outcome.
+	Hits      uint64 `json:"hits"`
+	Closed    uint64 `json:"closed"`
+	Conflicts uint64 `json:"conflicts"`
+	// Opens counts row activations; Closes counts precharges from any
+	// cause (conflicts, closed-page policy, the adaptive predictor,
+	// refresh), as reported by the DRAM model itself.
+	Opens  uint64 `json:"opens"`
+	Closes uint64 `json:"closes"`
+	// Demand and Pref count issued requests by class.
+	Demand uint64 `json:"demand"`
+	Pref   uint64 `json:"pref"`
+	// Refreshes counts refresh operations started on the bank.
+	// RefreshBlocked counts scheduler slots (controller ticks) in which
+	// the bank had work but was busy refreshing.
+	Refreshes      uint64 `json:"refreshes"`
+	RefreshBlocked uint64 `json:"refresh_blocked"`
+}
+
+func (c *Cell) accumulate(o Cell) {
+	c.Hits += o.Hits
+	c.Closed += o.Closed
+	c.Conflicts += o.Conflicts
+	c.Opens += o.Opens
+	c.Closes += o.Closes
+	c.Demand += o.Demand
+	c.Pref += o.Pref
+	c.Refreshes += o.Refreshes
+	c.RefreshBlocked += o.RefreshBlocked
+}
+
+func (c *Cell) zero() { *c = Cell{} }
+
+// Epoch is one completed accounting interval: cells are channel-major
+// (cell for channel c, bank b at index c*banks+b), RuleWins holds the
+// per-channel rule-win deltas accumulated during the epoch (same order
+// as Summary.Rules).
+type Epoch struct {
+	Index    int        `json:"epoch"`
+	Start    uint64     `json:"start"`
+	End      uint64     `json:"end"`
+	Cells    []Cell     `json:"cells"`
+	RuleWins [][]uint64 `json:"rule_wins,omitempty"`
+}
+
+// Options configures a Recorder.
+type Options struct {
+	// EpochCycles is the accounting interval; 0 uses DefaultEpochCycles.
+	// The recorder itself is cadence-free — the simulation loop calls
+	// Rotate — but the period is recorded so exporters can label axes.
+	EpochCycles uint64
+	// MaxEpochs bounds the retained-epoch ring; 0 uses DefaultMaxEpochs.
+	MaxEpochs int
+}
+
+// DefaultEpochCycles is the rotation period when Options leaves it zero.
+const DefaultEpochCycles = 10_000
+
+// DefaultMaxEpochs is the ring bound when Options leaves it zero.
+const DefaultMaxEpochs = 64
+
+// ruleSource samples one channel's cumulative rule-win counters so
+// Rotate can attribute per-epoch deltas.
+type ruleSource struct {
+	names  []string
+	sample func() []uint64
+	prev   []uint64
+}
+
+// Recorder accumulates per-bank cells into the current epoch and, on
+// Rotate, pushes the epoch into a bounded ring. A nil *Recorder is a
+// valid disabled instance: every method no-ops.
+type Recorder struct {
+	opts     Options
+	channels int
+	banks    int
+
+	cur   Epoch   // epoch being filled
+	ring  []Epoch // retained completed epochs; slots reused once full
+	head  int     // oldest retained epoch's slot
+	count int     // retained epochs
+	done  int     // epochs ever completed
+	drop  int     // epochs evicted from the ring
+
+	totals []Cell // lifetime per-bank accumulation (includes evicted epochs)
+	rules  []ruleSource
+}
+
+// New builds an enabled Recorder. Geometry is supplied by the simulation
+// via Configure before any recording happens.
+func New(opts Options) *Recorder {
+	if opts.EpochCycles == 0 {
+		opts.EpochCycles = DefaultEpochCycles
+	}
+	if opts.MaxEpochs <= 0 {
+		opts.MaxEpochs = DefaultMaxEpochs
+	}
+	return &Recorder{opts: opts}
+}
+
+// EpochCycles returns the configured rotation period (0 for nil).
+func (r *Recorder) EpochCycles() uint64 {
+	if r == nil {
+		return 0
+	}
+	return r.opts.EpochCycles
+}
+
+// Configure sets the bank geometry. The simulation calls it once at
+// construction; calling again with the same geometry is a no-op, with a
+// different one a panic (a recorder records one machine shape per run).
+func (r *Recorder) Configure(channels, banks int) {
+	if r == nil {
+		return
+	}
+	if r.channels != 0 || r.banks != 0 {
+		if r.channels != channels || r.banks != banks {
+			panic("flight: recorder reconfigured with different geometry")
+		}
+		return
+	}
+	if channels <= 0 || banks <= 0 {
+		panic("flight: non-positive geometry")
+	}
+	r.channels, r.banks = channels, banks
+	r.cur = Epoch{Cells: make([]Cell, channels*banks)}
+	r.totals = make([]Cell, channels*banks)
+	r.rules = make([]ruleSource, channels)
+}
+
+// AttachRules registers a channel's rule-win sampler: names label the
+// scheduler's rules, sample returns the cumulative win counters in the
+// same order. Rotate stores per-epoch deltas.
+func (r *Recorder) AttachRules(ch int, names []string, sample func() []uint64) {
+	if r == nil || ch < 0 || ch >= len(r.rules) {
+		return
+	}
+	r.rules[ch] = ruleSource{
+		names:  append([]string(nil), names...),
+		sample: sample,
+		prev:   make([]uint64, len(names)),
+	}
+}
+
+func (r *Recorder) cell(ch, bank int) *Cell {
+	return &r.cur.Cells[ch*r.banks+bank]
+}
+
+// ready reports whether the recorder can accept notes (non-nil and
+// configured).
+func (r *Recorder) ready() bool { return r != nil && r.banks != 0 }
+
+// NoteAccess records one bank access: its row-buffer outcome plus how
+// many row activations and precharges it caused, as decided inside the
+// DRAM model — including hidden closed-page and predictor precharges the
+// controller never sees (a conflict under a closing policy precharges
+// twice: once before the access, once after).
+func (r *Recorder) NoteAccess(ch, bank int, out Outcome, opens, closes int) {
+	if !r.ready() {
+		return
+	}
+	c := r.cell(ch, bank)
+	switch out {
+	case OutcomeHit:
+		c.Hits++
+	case OutcomeClosed:
+		c.Closed++
+	case OutcomeConflict:
+		c.Conflicts++
+	}
+	c.Opens += uint64(opens)
+	c.Closes += uint64(closes)
+}
+
+// NoteIssue records one scheduled request by class (controller-side: the
+// DRAM model does not know demand from prefetch).
+func (r *Recorder) NoteIssue(ch, bank int, pref bool) {
+	if !r.ready() {
+		return
+	}
+	if pref {
+		r.cell(ch, bank).Pref++
+	} else {
+		r.cell(ch, bank).Demand++
+	}
+}
+
+// NoteRefresh records a refresh starting on the bank; closed reports
+// whether it had to precharge an open row first.
+func (r *Recorder) NoteRefresh(ch, bank int, closed bool) {
+	if !r.ready() {
+		return
+	}
+	c := r.cell(ch, bank)
+	c.Refreshes++
+	if closed {
+		c.Closes++
+	}
+}
+
+// NoteBlocked records one scheduler slot in which the bank had pending
+// work but was refreshing.
+func (r *Recorder) NoteBlocked(ch, bank int) {
+	if !r.ready() {
+		return
+	}
+	r.cell(ch, bank).RefreshBlocked++
+}
+
+// Rotate closes the current epoch at cycle now and starts the next one.
+// The simulation loop calls it on epoch boundaries and once more after
+// the final partial epoch. A rotation with no elapsed cycles is a no-op,
+// so the final call is safe when the run ended exactly on a boundary.
+func (r *Recorder) Rotate(now uint64) {
+	if !r.ready() || now <= r.cur.Start {
+		return
+	}
+	var slot *Epoch
+	if r.count < r.opts.MaxEpochs {
+		r.ring = append(r.ring, Epoch{Cells: make([]Cell, len(r.cur.Cells))})
+		slot = &r.ring[(r.head+r.count)%r.opts.MaxEpochs]
+		r.count++
+	} else {
+		slot = &r.ring[r.head]
+		r.head = (r.head + 1) % r.opts.MaxEpochs
+		r.drop++
+	}
+	slot.Index = r.cur.Index
+	slot.Start = r.cur.Start
+	slot.End = now
+	copy(slot.Cells, r.cur.Cells)
+	slot.RuleWins = slot.RuleWins[:0]
+	for ch := range r.rules {
+		src := &r.rules[ch]
+		if src.sample == nil {
+			continue
+		}
+		cum := src.sample()
+		delta := make([]uint64, len(cum))
+		for i, v := range cum {
+			if i < len(src.prev) {
+				delta[i] = v - src.prev[i]
+			} else {
+				delta[i] = v
+			}
+		}
+		src.prev = cum
+		for len(slot.RuleWins) < ch {
+			slot.RuleWins = append(slot.RuleWins, nil)
+		}
+		slot.RuleWins = append(slot.RuleWins, delta)
+	}
+	for i := range r.cur.Cells {
+		r.totals[i].accumulate(r.cur.Cells[i])
+		r.cur.Cells[i].zero()
+	}
+	r.done++
+	r.cur.Index++
+	r.cur.Start = now
+}
+
+// Epochs returns the retained completed epochs oldest-first. The slices
+// alias recorder storage; callers must not mutate them.
+func (r *Recorder) Epochs() []Epoch {
+	if r == nil || r.count == 0 {
+		return nil
+	}
+	out := make([]Epoch, 0, r.count)
+	for i := 0; i < r.count; i++ {
+		out = append(out, r.ring[(r.head+i)%r.opts.MaxEpochs])
+	}
+	return out
+}
+
+// Retained returns (retained, completed, evicted) epoch counts — the
+// bounds contract: retained never exceeds MaxEpochs.
+func (r *Recorder) Retained() (retained, completed, evicted int) {
+	if r == nil {
+		return 0, 0, 0
+	}
+	return r.count, r.done, r.drop
+}
+
+// Summary is the recorder's portable roll-up: what a sweep job ships to
+// the campaign service as its telemetry sidecar record. It is a pure
+// function of the simulated run, so it is byte-identical under JSON
+// marshalling at any worker count.
+type Summary struct {
+	EpochCycles uint64   `json:"epoch_cycles"`
+	Channels    int      `json:"channels"`
+	Banks       int      `json:"banks"`
+	Epochs      int      `json:"epochs"`            // epochs ever completed
+	Dropped     int      `json:"dropped,omitempty"` // evicted from the ring
+	Rules       []string `json:"rules,omitempty"`   // rule names (shared across channels)
+	Totals      []Cell   `json:"totals"`            // lifetime per-bank cells, channel-major
+	Ring        []Epoch  `json:"ring"`              // retained epochs, oldest first
+}
+
+// Summary snapshots the recorder. Cell slices are copied, so the summary
+// stays valid if the recorder keeps running.
+func (r *Recorder) Summary() *Summary {
+	if r == nil || r.banks == 0 {
+		return nil
+	}
+	s := &Summary{
+		EpochCycles: r.opts.EpochCycles,
+		Channels:    r.channels,
+		Banks:       r.banks,
+		Epochs:      r.done,
+		Dropped:     r.drop,
+		Totals:      append([]Cell(nil), r.totals...),
+	}
+	// All channels run the same rule stack in one machine, so channel
+	// 0's names label every channel's delta vector.
+	for ch := range r.rules {
+		if len(r.rules[ch].names) > 0 {
+			s.Rules = r.rules[ch].names
+			break
+		}
+	}
+	for _, ep := range r.Epochs() {
+		cp := ep
+		cp.Cells = append([]Cell(nil), ep.Cells...)
+		if ep.RuleWins != nil {
+			cp.RuleWins = make([][]uint64, len(ep.RuleWins))
+			for i, w := range ep.RuleWins {
+				cp.RuleWins[i] = append([]uint64(nil), w...)
+			}
+		}
+		s.Ring = append(s.Ring, cp)
+	}
+	return s
+}

@@ -1,0 +1,147 @@
+package telemetry
+
+import (
+	"bytes"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestHistogramExposition pins the histogram exposition shape: cumulative
+// bucket counts in ascending le order, an le="+Inf" bucket equal to
+// _count, and a _sum of the observed values.
+func TestHistogramExposition(t *testing.T) {
+	r := NewPromRegistry()
+	h := r.Histogram("req_seconds", "request latency", []float64{0.1, 1, 10}, "route")
+	s := h.With("/a")
+	for _, v := range []float64{0.05, 0.5, 0.5, 5, 50} {
+		s.Observe(v)
+	}
+	h.With("/b").Observe(0.01)
+
+	var b bytes.Buffer
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	want := `# HELP req_seconds request latency
+# TYPE req_seconds histogram
+req_seconds_bucket{route="/a",le="0.1"} 1
+req_seconds_bucket{route="/a",le="1"} 3
+req_seconds_bucket{route="/a",le="10"} 4
+req_seconds_bucket{route="/a",le="+Inf"} 5
+req_seconds_sum{route="/a"} 56.05
+req_seconds_count{route="/a"} 5
+req_seconds_bucket{route="/b",le="0.1"} 1
+req_seconds_bucket{route="/b",le="1"} 1
+req_seconds_bucket{route="/b",le="10"} 1
+req_seconds_bucket{route="/b",le="+Inf"} 1
+req_seconds_sum{route="/b"} 0.01
+req_seconds_count{route="/b"} 1
+`
+	if b.String() != want {
+		t.Fatalf("histogram exposition mismatch:\ngot:\n%s\nwant:\n%s", b.String(), want)
+	}
+}
+
+// TestHistogramValidation covers the programming-error panics: buckets
+// must be ascending, and a histogram name cannot collide with an
+// existing family.
+func TestHistogramValidation(t *testing.T) {
+	r := NewPromRegistry()
+	assertPanics(t, "non-ascending buckets", func() {
+		r.Histogram("bad", "", []float64{1, 1})
+	})
+	r.Counter("taken", "")
+	assertPanics(t, "name collision", func() {
+		r.Histogram("taken", "", nil)
+	})
+
+	// nil buckets fall back to the duration defaults.
+	h := r.Histogram("ok", "", nil)
+	h.With().Observe(0.002)
+	var b bytes.Buffer
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), `ok_bucket{le="0.001"} 0`) {
+		t.Fatalf("default buckets not applied:\n%s", b.String())
+	}
+
+	// nil registry: all no-ops.
+	var nr *PromRegistry
+	nr.Histogram("x", "", nil).With().Observe(1)
+}
+
+// TestHistogramConcurrent hammers one series from many goroutines (run
+// under -race in CI) and checks no observation is lost and the mid-write
+// invariant holds: the +Inf count can never undercount the buckets.
+func TestHistogramConcurrent(t *testing.T) {
+	r := NewPromRegistry()
+	h := r.Histogram("lat", "", []float64{1}, "k")
+	const goroutines, perG = 8, 1000
+	var observers, scraper sync.WaitGroup
+	stop := make(chan struct{})
+	// A concurrent scraper exercising the writer against live updates.
+	scraper.Add(1)
+	go func() {
+		defer scraper.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				var b bytes.Buffer
+				if err := r.WritePrometheus(&b); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}
+	}()
+	for g := 0; g < goroutines; g++ {
+		observers.Add(1)
+		go func(g int) {
+			defer observers.Done()
+			s := h.With("k")
+			for i := 0; i < perG; i++ {
+				s.Observe(float64(g%2) * 2) // half below the bucket, half above
+			}
+		}(g)
+	}
+	observers.Wait()
+	close(stop)
+	scraper.Wait()
+
+	var b bytes.Buffer
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), `lat_count{k="k"} 8000`) {
+		t.Fatalf("concurrent observes lost updates:\n%s", b.String())
+	}
+}
+
+// TestLabelEscaping pins the exposition escaping rules: backslash, double
+// quote, and newline are escaped — and nothing else is (a `%q`-style
+// encoding would corrupt values containing `{` or unicode).
+func TestLabelEscaping(t *testing.T) {
+	r := NewPromRegistry()
+	c := r.Counter("esc", "", "v")
+	c.With(`quote " backslash \ newline ` + "\n" + ` brace {x} ünïcode`).Inc()
+
+	var b bytes.Buffer
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	want := `esc{v="quote \" backslash \\ newline \n brace {x} ünïcode"} 1`
+	if !strings.Contains(b.String(), want+"\n") {
+		t.Fatalf("escaping mismatch:\ngot:\n%s\nwant line:\n%s", b.String(), want)
+	}
+	// No line of the exposition may contain a raw (unescaped) newline
+	// inside a label value: every line must be a comment or a sample.
+	for _, line := range strings.Split(strings.TrimRight(b.String(), "\n"), "\n") {
+		if !strings.HasPrefix(line, "#") && !strings.HasSuffix(line, " 1") {
+			t.Fatalf("raw newline split a sample line: %q", line)
+		}
+	}
+}

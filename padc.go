@@ -27,6 +27,7 @@ import (
 	"padc/internal/sim"
 	"padc/internal/stats"
 	"padc/internal/telemetry"
+	"padc/internal/telemetry/flight"
 	"padc/internal/telemetry/lifecycle"
 	"padc/internal/workload"
 )
@@ -119,6 +120,14 @@ type SystemConfig struct {
 	// methods). Nil keeps the simulator on the uninstrumented fast path.
 	Telemetry *telemetry.Telemetry
 
+	// Flight, when non-nil, is the bank-state flight recorder: bounded
+	// per-epoch × per-bank accounting of row outcomes, open/close
+	// transitions, demand/prefetch issues, refresh interference and
+	// scheduler rule-win attribution (build one with NewFlightRecorder;
+	// export with its WriteCSV / WriteJSONL / ChromeCounters / Summary
+	// methods). Nil keeps the hot path at one pointer compare per hook.
+	Flight *flight.Recorder
+
 	// Lifecycle, when non-nil, traces every memory request end to end
 	// (enqueue, promotion, issue, bus, completion/drop) into per-core
 	// queue-wait/service breakdowns and a sampled span reservoir (build
@@ -137,6 +146,15 @@ type SystemConfig struct {
 // Attach it to SystemConfig.Telemetry before Run.
 func NewTelemetry(epochCycles uint64) *telemetry.Telemetry {
 	return telemetry.New(telemetry.Options{EpochCycles: epochCycles})
+}
+
+// NewFlightRecorder builds a bank-state flight recorder rotating every
+// epochCycles cycles (0 uses the package default) and retaining the last
+// maxEpochs epochs (0 uses the default ring bound). Attach it to
+// SystemConfig.Flight before Run; memory stays O(maxEpochs × banks) on
+// arbitrarily long runs.
+func NewFlightRecorder(epochCycles uint64, maxEpochs int) *flight.Recorder {
+	return flight.New(flight.Options{EpochCycles: epochCycles, MaxEpochs: maxEpochs})
 }
 
 // NewLifecycle builds a request-lifecycle tracer retaining up to
@@ -227,6 +245,7 @@ func (c SystemConfig) toSim() (sim.Config, error) {
 		cfg.TargetInsts = c.TargetInsts
 	}
 	cfg.Telemetry = c.Telemetry
+	cfg.Flight = c.Flight
 	cfg.Lifecycle = c.Lifecycle
 	cfg.Profile = c.Profile
 	// Full validation (including the workload) happens in sim.Run.

@@ -1,15 +1,22 @@
 // Command benchsnap records the performance-tracking benchmarks into a
-// checked-in JSON snapshot (BENCH_sweep.json at the repo root). It runs
+// checked-in JSON history (BENCH_sweep.json at the repo root). It runs
 // `go test -bench` as subprocesses — one per package so the benchmarks
-// see an idle machine — parses the standard benchmark output, and writes
-// one JSON document with the environment (Go version, GOMAXPROCS) and
-// every sub-benchmark's ns/op, B/op and allocs/op.
+// see an idle machine — parses the standard benchmark output, and
+// appends one timestamped snapshot (environment plus every
+// sub-benchmark's ns/op, B/op and allocs/op) to the history array. A
+// pre-history single-snapshot file is migrated in place: it becomes the
+// first entry of the array.
 //
-// The snapshot is a reviewable record, not a regression gate: numbers
-// move with hardware, so CI re-runs the benchmarks in smoke mode instead
-// of diffing the file. Refresh it after perf-relevant changes with:
+// With -compare, no benchmarks run: the last two snapshots in the
+// history are diffed per (package, benchmark), the ns/op deltas are
+// printed, and the command exits non-zero if any benchmark regressed by
+// more than -threshold (default 20%). Numbers move with hardware, so
+// the comparison is meaningful between snapshots taken on the same
+// machine — `make bench-compare` after `make bench-snapshot` on a
+// perf-relevant change is the intended loop:
 //
-//	make bench-snapshot
+//	make bench-snapshot   # append a snapshot
+//	make bench-compare    # diff the last two, fail on >20% regression
 package main
 
 import (
@@ -23,6 +30,7 @@ import (
 	"runtime"
 	"strconv"
 	"strings"
+	"time"
 )
 
 // targets are the benchmarks the snapshot tracks: the parallel sweep
@@ -46,6 +54,7 @@ type entry struct {
 }
 
 type snapshot struct {
+	Taken      string  `json:"taken,omitempty"` // RFC3339; absent on migrated pre-history entries
 	Go         string  `json:"go"`
 	GOOS       string  `json:"goos"`
 	GOARCH     string  `json:"goarch"`
@@ -61,41 +70,158 @@ var benchLine = regexp.MustCompile(
 	`^(Benchmark\S+?)(?:-\d+)?\s+(\d+)\s+([\d.]+) ns/op(?:\s+(\d+) B/op)?(?:\s+(\d+) allocs/op)?`)
 
 func main() {
-	out := flag.String("out", "BENCH_sweep.json", "snapshot file to write")
+	out := flag.String("out", "BENCH_sweep.json", "snapshot history file")
 	benchtime := flag.String("benchtime", "1s", "go test -benchtime per sub-benchmark")
+	compare := flag.Bool("compare", false, "diff the last two snapshots instead of benchmarking")
+	threshold := flag.Float64("threshold", 20, "with -compare: fail on ns/op regressions above this percentage")
+	keep := flag.Int("keep", 50, "cap the history at this many snapshots (0 = unbounded)")
 	flag.Parse()
 
+	if *compare {
+		if err := compareLast(*out, *threshold); err != nil {
+			fmt.Fprintln(os.Stderr, "benchsnap:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if err := record(*out, *benchtime, *keep); err != nil {
+		fmt.Fprintln(os.Stderr, "benchsnap:", err)
+		os.Exit(1)
+	}
+}
+
+// loadHistory reads the snapshot history, migrating the pre-history
+// single-object format (the file starts with `{`) into a one-entry
+// array. A missing file is an empty history.
+func loadHistory(path string) ([]snapshot, error) {
+	data, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	trimmed := bytes.TrimLeft(data, " \t\r\n")
+	if len(trimmed) == 0 {
+		return nil, nil
+	}
+	if trimmed[0] == '{' {
+		var single snapshot
+		if err := json.Unmarshal(data, &single); err != nil {
+			return nil, fmt.Errorf("migrating single-snapshot %s: %w", path, err)
+		}
+		return []snapshot{single}, nil
+	}
+	var hist []snapshot
+	if err := json.Unmarshal(data, &hist); err != nil {
+		return nil, fmt.Errorf("parsing %s: %w", path, err)
+	}
+	return hist, nil
+}
+
+func writeHistory(path string, hist []snapshot) error {
+	data, err := json.MarshalIndent(hist, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// record runs the target benchmarks and appends one snapshot.
+func record(path, benchtime string, keep int) error {
 	snap := snapshot{
+		Taken:      time.Now().UTC().Format(time.RFC3339),
 		Go:         runtime.Version(),
 		GOOS:       runtime.GOOS,
 		GOARCH:     runtime.GOARCH,
 		GOMAXPROCS: runtime.GOMAXPROCS(0),
-		Benchtime:  *benchtime,
+		Benchtime:  benchtime,
 	}
 	for _, tgt := range targets {
-		entries, err := run(tgt.pkg, tgt.bench, *benchtime)
+		entries, err := run(tgt.pkg, tgt.bench, benchtime)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "benchsnap:", err)
-			os.Exit(1)
+			return err
 		}
 		snap.Benchmarks = append(snap.Benchmarks, entries...)
 	}
 	if len(snap.Benchmarks) == 0 {
-		fmt.Fprintln(os.Stderr, "benchsnap: no benchmark lines parsed")
-		os.Exit(1)
+		return fmt.Errorf("no benchmark lines parsed")
 	}
 
-	data, err := json.MarshalIndent(snap, "", "  ")
+	hist, err := loadHistory(path)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "benchsnap:", err)
-		os.Exit(1)
+		return err
 	}
-	data = append(data, '\n')
-	if err := os.WriteFile(*out, data, 0o644); err != nil {
-		fmt.Fprintln(os.Stderr, "benchsnap:", err)
-		os.Exit(1)
+	hist = append(hist, snap)
+	if keep > 0 && len(hist) > keep {
+		hist = hist[len(hist)-keep:]
 	}
-	fmt.Printf("benchsnap: wrote %d benchmarks to %s\n", len(snap.Benchmarks), *out)
+	if err := writeHistory(path, hist); err != nil {
+		return err
+	}
+	fmt.Printf("benchsnap: appended %d benchmarks to %s (%d snapshots)\n",
+		len(snap.Benchmarks), path, len(hist))
+	return nil
+}
+
+// compareLast diffs the last two snapshots per (package, benchmark) and
+// fails on any ns/op regression above thresholdPct. Fewer than two
+// snapshots is a pass: there is nothing to regress against yet.
+func compareLast(path string, thresholdPct float64) error {
+	hist, err := loadHistory(path)
+	if err != nil {
+		return err
+	}
+	if len(hist) < 2 {
+		fmt.Printf("benchsnap: %d snapshot(s) in %s — nothing to compare\n", len(hist), path)
+		return nil
+	}
+	prev, cur := hist[len(hist)-2], hist[len(hist)-1]
+	key := func(e entry) string { return e.Package + " " + e.Name }
+	base := make(map[string]entry, len(prev.Benchmarks))
+	for _, e := range prev.Benchmarks {
+		base[key(e)] = e
+	}
+
+	fmt.Printf("benchsnap: comparing %s -> %s (threshold %.0f%%)\n",
+		orUnstamped(prev.Taken), orUnstamped(cur.Taken), thresholdPct)
+	if prev.GOOS != cur.GOOS || prev.GOARCH != cur.GOARCH || prev.GOMAXPROCS != cur.GOMAXPROCS {
+		fmt.Printf("benchsnap: WARNING: environments differ (%s/%s/%d vs %s/%s/%d) — deltas are indicative only\n",
+			prev.GOOS, prev.GOARCH, prev.GOMAXPROCS, cur.GOOS, cur.GOARCH, cur.GOMAXPROCS)
+	}
+
+	var regressed []string
+	for _, e := range cur.Benchmarks {
+		b, ok := base[key(e)]
+		if !ok {
+			fmt.Printf("  %-60s %12.1f ns/op  (new)\n", key(e), e.NsPerOp)
+			continue
+		}
+		pct := 0.0
+		if b.NsPerOp > 0 {
+			pct = (e.NsPerOp - b.NsPerOp) / b.NsPerOp * 100
+		}
+		mark := ""
+		if pct > thresholdPct {
+			mark = "  REGRESSED"
+			regressed = append(regressed, fmt.Sprintf("%s (%+.1f%%)", key(e), pct))
+		}
+		fmt.Printf("  %-60s %12.1f -> %12.1f ns/op  %+7.1f%%%s\n",
+			key(e), b.NsPerOp, e.NsPerOp, pct, mark)
+	}
+	if len(regressed) > 0 {
+		return fmt.Errorf("%d benchmark(s) regressed more than %.0f%% ns/op: %s",
+			len(regressed), thresholdPct, strings.Join(regressed, ", "))
+	}
+	fmt.Println("benchsnap: no regressions above threshold")
+	return nil
+}
+
+func orUnstamped(taken string) string {
+	if taken == "" {
+		return "(unstamped)"
+	}
+	return taken
 }
 
 // run executes one package's benchmarks and parses the output lines.

@@ -50,6 +50,14 @@ start_server() {
     done
     [ -s "$tmp/addr" ] || { say "server never bound"; cat "$tmp/server.log"; exit 1; }
     base="http://$(cat "$tmp/addr")"
+    # The listener binds before journal replay; wait on readiness, not
+    # liveness — /readyz only turns 200 once replay/resume has finished
+    # and the real handler is installed.
+    for _ in $(seq 1 100); do
+        curl -sf "$base/readyz" >/dev/null && return 0
+        sleep 0.1
+    done
+    say "server never became ready"; cat "$tmp/server.log"; exit 1
 }
 
 say "starting padcsweepd"
@@ -58,7 +66,7 @@ start_server
 say "submitting campaign over HTTP ($base)"
 id=$(curl -sf -X POST "$base/api/v1/campaigns" \
     -H 'Content-Type: application/json' \
-    -d "{\"spec\": $(cat "$tmp/spec.json"), \"workers\": 1}" |
+    -d "{\"spec\": $(cat "$tmp/spec.json"), \"workers\": 1, \"telemetry\": true}" |
     sed -n 's/.*"id": "\([^"]*\)".*/\1/p')
 [ -n "$id" ] || { say "submit returned no campaign id"; exit 1; }
 say "campaign $id accepted"
@@ -92,9 +100,23 @@ for _ in $(seq 1 600); do
 done
 [ "$state" = "completed" ] || { say "campaign never completed"; cat "$tmp/server.log"; exit 1; }
 
-# The per-campaign metrics must be on /metrics.
-curl -sf "$base/metrics" | grep -q "padc_sweepd_jobs_done{campaign=\"$id\"}" ||
+# The per-campaign metrics must be on /metrics, alongside the per-route
+# RED series the HTTP middleware records. Scrape once into a file: a
+# `curl | grep -q` pipeline can flake under pipefail when grep exits at
+# the first match and curl takes the SIGPIPE.
+curl -sf "$base/metrics" >"$tmp/metrics.txt"
+grep -q "padc_sweepd_jobs_done{campaign=\"$id\"}" "$tmp/metrics.txt" ||
     { say "per-campaign metrics missing from /metrics"; exit 1; }
+grep -q 'padc_sweepd_http_requests_total{' "$tmp/metrics.txt" ||
+    { say "per-route RED metrics missing from /metrics"; exit 1; }
+
+# The telemetry sidecar survived the SIGKILL: one NDJSON roll-up per job,
+# each carrying a flight summary.
+say "fetching per-job telemetry roll-ups"
+rows=$(curl -sf "$base/api/v1/campaigns/$id/telemetry" | grep -c '"flight"')
+total=$(curl -sf "$base/api/v1/campaigns/$id" | sed -n 's/.*"total": \([0-9]*\).*/\1/p')
+[ "$rows" = "$total" ] ||
+    { say "telemetry has $rows flight records, want $total"; exit 1; }
 
 say "fetching the resumed artifact"
 curl -sf "$base/api/v1/campaigns/$id/artifact.csv" >"$tmp/resumed.csv"
