@@ -89,6 +89,7 @@ func main() {
 
 		refreshMode = flag.String("refresh", "off", "DRAM refresh mode: off|per-bank|all-bank")
 		pagePolicy  = flag.String("page", "open", "row-buffer management: open|closed|adaptive")
+		kernel      = flag.String("kernel", "events", "simulation kernel: events (cycle-skipping, default) or stepped (cycle-by-cycle reference)")
 		dumpConfig  = flag.Bool("dump-config", false, "print the resolved machine configuration as JSON and exit")
 
 		metricsOut = flag.String("metrics", "", "write the epoch metric time series as CSV to this file")
@@ -125,7 +126,7 @@ func main() {
 			fmt.Printf("  %s\n", id)
 		}
 	case *dumpConfig:
-		cfg, names, err := buildConfig(*bench, *policy, *pf, *refreshMode, *pagePolicy, *insts, *cores)
+		cfg, names, err := buildConfig(*bench, *policy, *pf, *refreshMode, *pagePolicy, *kernel, *insts, *cores)
 		if err != nil {
 			fatal(err)
 		}
@@ -155,7 +156,7 @@ func main() {
 		}
 		fmt.Print(out)
 	case *bench != "":
-		cfg, names, err := buildConfig(*bench, *policy, *pf, *refreshMode, *pagePolicy, *insts, *cores)
+		cfg, names, err := buildConfig(*bench, *policy, *pf, *refreshMode, *pagePolicy, *kernel, *insts, *cores)
 		if err != nil {
 			fatal(err)
 		}
@@ -324,7 +325,7 @@ func runSweepRemote(server, path string, jobs int, verify bool, csvOut, jsonOut 
 // buildConfig assembles the machine the simulation flags describe and
 // returns it with the benchmark list. With no -bench and no -cores it
 // provisions a single core, which is enough for -dump-config.
-func buildConfig(bench, policy, pf, refreshMode, page string, insts uint64, cores int) (padc.SystemConfig, []string, error) {
+func buildConfig(bench, policy, pf, refreshMode, page, kernel string, insts uint64, cores int) (padc.SystemConfig, []string, error) {
 	var names []string
 	if bench != "" {
 		names = strings.Split(bench, ",")
@@ -348,6 +349,7 @@ func buildConfig(bench, policy, pf, refreshMode, page string, insts uint64, core
 	}
 	cfg.RefreshMode = refreshMode
 	cfg.PagePolicy = page
+	cfg.Kernel = kernel
 	return cfg, names, nil
 }
 

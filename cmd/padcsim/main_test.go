@@ -67,7 +67,7 @@ func TestApplyPrefetcherKnownValues(t *testing.T) {
 }
 
 func TestBuildConfigAppliesRefreshAndPage(t *testing.T) {
-	cfg, names, err := buildConfig("swim,art", "padc", "stream", "per-bank", "adaptive", 5000, 0)
+	cfg, names, err := buildConfig("swim,art", "padc", "stream", "per-bank", "adaptive", "events", 5000, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -85,14 +85,14 @@ func TestBuildConfigAppliesRefreshAndPage(t *testing.T) {
 	}
 
 	// No benchmarks and no -cores still yields a describable machine.
-	cfg, names, err = buildConfig("", "padc", "stream", "off", "open", 0, 0)
+	cfg, names, err = buildConfig("", "padc", "stream", "off", "open", "", 0, 0)
 	if err != nil || len(names) != 0 || cfg.Cores != 1 {
 		t.Fatalf("flagless config: cores=%d names=%v err=%v", cfg.Cores, names, err)
 	}
 }
 
 func TestWriteResolvedConfigJSON(t *testing.T) {
-	cfg, names, err := buildConfig("swim", "padc", "stream", "all-bank", "closed", 0, 0)
+	cfg, names, err := buildConfig("swim", "padc", "stream", "all-bank", "closed", "stepped", 0, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -127,7 +127,7 @@ func TestWriteResolvedConfigJSON(t *testing.T) {
 
 func TestWriteResolvedConfigRejectsBadModes(t *testing.T) {
 	for _, tc := range [][2]string{{"hourly", "open"}, {"off", "ajar"}} {
-		cfg, names, err := buildConfig("swim", "padc", "stream", tc[0], tc[1], 0, 0)
+		cfg, names, err := buildConfig("swim", "padc", "stream", tc[0], tc[1], "events", 0, 0)
 		if err != nil {
 			t.Fatal(err) // buildConfig defers vocabulary checks to Describe/Run
 		}

@@ -392,5 +392,81 @@ func (c *Core) tryIssue(e *robEntry, now uint64) bool {
 	return true
 }
 
+// NeverEvent is the NextEvent value meaning "no internally-scheduled
+// work": only an external completion can change the component's state, so
+// the caller must bound any skip by the event that delivers it.
+const NeverEvent = ^uint64(0)
+
+// NextEvent reports the earliest cycle > now at which Tick could do
+// anything beyond repeating the current cycle's stall accounting: retire
+// the head, enter or leave runahead, issue a deferred load, or fetch.
+// The contract Skip relies on: for every cycle u in (now, NextEvent(now)),
+// Tick(u) would be a pure repeat of cycle now's blocked bookkeeping
+// (StallCycles and the cycle-class attribution), with no other state
+// change. The caller must re-evaluate after any executed cycle and after
+// any Complete delivery.
+func (c *Core) NextEvent(now uint64) uint64 {
+	if c.count < len(c.buf) {
+		return now + 1 // fetch/dispatch proceeds every cycle
+	}
+	next := NeverEvent
+	e := c.at(0)
+	if e.issued {
+		if e.ready {
+			if e.readyAt <= now {
+				return now + 1 // head retires on the next tick
+			}
+			next = e.readyAt
+		} else if c.inRunahead || c.cfg.Runahead {
+			// Next tick either pseudo-retires the blocking miss (in
+			// runahead) or enters runahead mode — both are state changes.
+			return now + 1
+		}
+		// Otherwise the head waits on a DRAM fill: an external Complete.
+	}
+	for _, seq := range c.deferred {
+		d := c.entryBySeq(seq)
+		if d == nil || d.issued {
+			continue // flushed by runahead exit, or issued meanwhile
+		}
+		if d.retryAt > now {
+			if d.retryAt < next {
+				next = d.retryAt
+			}
+			continue
+		}
+		if d.dep {
+			p := c.entryBySeq(d.depOn)
+			if p != nil && (!p.ready || p.readyAt > now) {
+				if c.inRunahead && p.l2miss {
+					return now + 1 // INV drop resolves the load next tick
+				}
+				if p.ready && p.readyAt < next {
+					next = p.readyAt
+				}
+				continue // unready producer: woken by its completion
+			}
+		}
+		return now + 1 // issueable: next tick's deferred pass acts
+	}
+	return next
+}
+
+// Skip accounts n cycles the caller proved inert via NextEvent: the
+// stepped loop would only have repeated the head-blocked bookkeeping, so
+// it is applied arithmetically. Skipped windows always have a full
+// window (NextEvent returns now+1 otherwise), so the head entry — which
+// classifyCycle and the stall condition read — is constant throughout.
+func (c *Core) Skip(n uint64) {
+	if c.count > 0 {
+		if e := c.at(0); e.isLoad && e.issued {
+			c.StallCycles += n
+		}
+	}
+	if c.acct != nil {
+		c.acct[c.classifyCycle()] += n
+	}
+}
+
 // InRunahead reports whether the core is currently in runahead mode.
 func (c *Core) InRunahead() bool { return c.inRunahead }

@@ -92,6 +92,18 @@ type Config struct {
 	Refresh refresh.Config
 }
 
+// EffectiveTickEvery resolves the controller scheduling period: the
+// historical default of one decision per DRAM bus cycle when TickEvery is
+// left zero. Everything that quantizes cycles onto the controller grid
+// (the sim loop, the event kernel, refresh delta accounting) must use
+// this resolved value.
+func (c Config) EffectiveTickEvery() uint64 {
+	if c.TickEvery == 0 {
+		return 4
+	}
+	return c.TickEvery
+}
+
 // EffectivePage resolves the page policy, folding the legacy ClosedRow
 // flag into the Page field's vocabulary.
 func (c Config) EffectivePage() PagePolicy {

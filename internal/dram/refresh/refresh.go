@@ -146,6 +146,7 @@ type Engine struct {
 	units []Unit
 	last  uint64 // cycle of the previous Advance
 	dt    uint64 // cycles covered by the current Advance
+	dtCap uint64 // upper bound on dt (0 = uncapped); see CapDelta
 
 	// Counters (telemetry and the ablation read these).
 	Issued        uint64 // refreshes issued
@@ -204,6 +205,9 @@ func (e *Engine) Advance(now uint64) {
 		e.last = now
 	} else {
 		e.dt = 0
+	}
+	if e.dtCap != 0 && e.dt > e.dtCap {
+		e.dt = e.dtCap
 	}
 	for u := range e.units {
 		unit := &e.units[u]
@@ -272,6 +276,33 @@ func (e *Engine) Start(bank int, now uint64) (until uint64) {
 // refresh-blocked time; the controller calls it when a bank with waiting
 // requests was unavailable because of refresh.
 func (e *Engine) NoteBlocked() { e.BlockedCycles += e.dt }
+
+// CapDelta bounds the per-Advance delta NoteBlocked charges. A caller
+// that ticks the engine on a fixed grid of `period` cycles while traffic
+// is waiting — but may legitimately skip ticks across provably-idle gaps
+// (the event kernel) — sets the cap to that period, making the first
+// post-gap NoteBlocked charge exactly what per-tick stepping would have
+// charged. With every tick executed the delta already equals the period,
+// so the cap is an identity there. Zero disables the cap.
+func (e *Engine) CapDelta(period uint64) { e.dtCap = period }
+
+// NextAccrual returns the earliest cycle at which any unit accrues its
+// next obligation — the only spontaneous state change the engine makes,
+// and therefore an event the cycle-skipping kernel must not jump past.
+func (e *Engine) NextAccrual() uint64 {
+	next := ^uint64(0)
+	for u := range e.units {
+		if e.units[u].NextDue < next {
+			next = e.units[u].NextDue
+		}
+	}
+	return next
+}
+
+// BusyUntil returns the cycle through which bank's unit is occupied by an
+// in-progress refresh (a past cycle when idle) — the expiry event after
+// which the unit can start its next refresh or unblock its bank.
+func (e *Engine) BusyUntil(bank int) uint64 { return e.unit(bank).BusyUntil }
 
 // Units returns a copy of the per-unit state (tests and invariants).
 func (e *Engine) Units() []Unit { return append([]Unit(nil), e.units...) }

@@ -603,6 +603,113 @@ func (c *Controller) Tick(now uint64, ncores int) []*Request {
 	return done
 }
 
+// NeverEvent is the NextEvent value meaning no internally-scheduled work:
+// only a new Enqueue (which happens on an executed core cycle) can give
+// the controller something to do.
+const NeverEvent = ^uint64(0)
+
+// NextEvent reports the earliest cycle > now at which Tick could change
+// state: an in-flight access completing, a waiting request's bank coming
+// free, a refresh obligation accruing, an in-progress refresh expiring,
+// or a startable refresh's bank draining. It returns now+1 whenever the
+// very next tick can already act — a ready bank with waiting work, or a
+// refresh-blocked bank with waiting work (whose wait is charged per tick
+// and therefore must not be skipped). Cycles in (now, NextEvent(now)) are
+// guaranteed no-op ticks: skipping them changes no counter and no
+// scheduling decision. The caller quantizes the result onto its tick
+// grid and re-evaluates after every executed cycle.
+func (c *Controller) NextEvent(now uint64) uint64 {
+	next := NeverEvent
+	for _, r := range c.inflight {
+		if r.FinishAt < next {
+			next = r.FinishAt
+		}
+	}
+	for b := range c.banks {
+		if len(c.banks[b]) == 0 {
+			continue
+		}
+		if c.refresh != nil && c.refresh.Blocked(b, now) {
+			return now + 1 // blocked-cycle accounting accrues every tick
+		}
+		if !c.channel.BankReady(b, now) {
+			if bu := c.channel.Banks[b].BusyUntil; bu < next {
+				next = bu
+			}
+			continue
+		}
+		return now + 1 // a ready bank with waiting work arbitrates next tick
+	}
+	if c.refresh != nil {
+		if e := c.refreshNextEvent(now); e < next {
+			next = e
+		}
+	}
+	return next
+}
+
+// refreshNextEvent bounds the maintenance engine's next action: the next
+// obligation accrual, the expiry of an in-progress refresh, and the cycle
+// a currently-startable refresh would fire once its bank(s) drain. The
+// fire conditions mirror refreshPass; when none holds, only the accrual
+// and expiry deadlines (or an enqueue/completion, handled by the caller)
+// can change that.
+func (c *Controller) refreshNextEvent(now uint64) uint64 {
+	eng := c.refresh
+	next := eng.NextAccrual()
+	idle := c.pending == 0 && len(c.inflight) == 0
+	if eng.Mode() == refresh.AllBank {
+		if eng.Refreshing(0, now) {
+			if bu := eng.BusyUntil(0); bu < next {
+				next = bu
+			}
+			return next
+		}
+		if eng.MustRefresh(0) || (idle && (eng.Due(0, now) || eng.CanPullIn(0))) {
+			start := now + 1
+			for b := range c.channel.Banks {
+				if bu := c.channel.Banks[b].BusyUntil; bu > start {
+					start = bu
+				}
+			}
+			if start < next {
+				next = start
+			}
+		}
+		return next
+	}
+	for b := range c.channel.Banks {
+		if eng.Refreshing(b, now) {
+			if bu := eng.BusyUntil(b); bu < next {
+				next = bu
+			}
+			continue
+		}
+		if eng.MustRefresh(b) || (len(c.banks[b]) == 0 && (eng.Due(b, now) || (idle && eng.CanPullIn(b)))) {
+			start := now + 1
+			if bu := c.channel.Banks[b].BusyUntil; bu > start {
+				start = bu
+			}
+			if start < next {
+				next = start
+			}
+		}
+	}
+	return next
+}
+
+// HasPrefetches reports whether any admitted request is still classed as
+// a prefetch (waiting or in flight) — the only state the APD drop scan
+// can act on, so its periodic boundary is skippable while this is false.
+func (c *Controller) HasPrefetches() bool {
+	for _, n := range c.prefCnt {
+		if n > 0 {
+			return true
+		}
+	}
+	return false
+}
+
 // refreshPass runs the maintenance engine's per-tick duties before request
 // arbitration: accrue obligations, fire forced refreshes whose postpone
 // credit ran out, and opportunistically refresh idle banks — due refreshes

@@ -1,0 +1,76 @@
+package runner
+
+import (
+	"bytes"
+	"testing"
+)
+
+// TestKernelArtifactIdentity runs the golden paper-shaped sweep under
+// both simulation kernels (and different worker counts, for good
+// measure) and requires byte-identical CSV and JSON artifacts: the
+// kernel is a loop-strategy switch, never a results axis.
+func TestKernelArtifactIdentity(t *testing.T) {
+	render := func(kernel string, workers int) (csv, js []byte) {
+		t.Helper()
+		spec := goldenSpec()
+		spec.Insts = 6_000
+		spec.Kernel = kernel
+		res, err := Run(spec, Options{Workers: workers, Verify: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if n := res.Failed(); n > 0 {
+			t.Fatalf("%d jobs failed under kernel %q", n, kernel)
+		}
+		var c, j bytes.Buffer
+		if err := res.WriteCSV(&c); err != nil {
+			t.Fatal(err)
+		}
+		if err := res.WriteJSON(&j); err != nil {
+			t.Fatal(err)
+		}
+		return c.Bytes(), j.Bytes()
+	}
+
+	eventsCSV, eventsJSON := render("events", 4)
+	steppedCSV, steppedJSON := render("stepped", 1)
+	defaultCSV, defaultJSON := render("", 2)
+
+	if !bytes.Equal(eventsCSV, steppedCSV) {
+		t.Errorf("CSV artifacts differ between kernels:\n%s", firstDiff(string(steppedCSV), string(eventsCSV)))
+	}
+	if !bytes.Equal(eventsJSON, steppedJSON) {
+		t.Errorf("JSON artifacts differ between kernels:\n%s", firstDiff(string(steppedJSON), string(eventsJSON)))
+	}
+	if !bytes.Equal(eventsCSV, defaultCSV) || !bytes.Equal(eventsJSON, defaultJSON) {
+		t.Error("empty kernel spelling is not the events default")
+	}
+}
+
+// TestKernelSpecValidation pins the spec-level vocabulary: the kernel
+// field accepts the two loop strategies, rejects anything else, and
+// never leaks into job keys.
+func TestKernelSpecValidation(t *testing.T) {
+	spec := goldenSpec()
+	spec.Kernel = "stepped"
+	if err := spec.Validate(); err != nil {
+		t.Fatalf("stepped kernel rejected: %v", err)
+	}
+	jobs, err := spec.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, j := range jobs {
+		if bytes.Contains([]byte(j.Key), []byte("kernel")) {
+			t.Fatalf("job key %q leaks the kernel axis", j.Key)
+		}
+	}
+
+	spec.Kernel = "warp"
+	if err := spec.Validate(); err == nil {
+		t.Fatal("unknown kernel accepted")
+	}
+	if _, err := ParseSpec([]byte(`{"mixes": 1, "kernel": "warp"}`)); err == nil {
+		t.Fatal("ParseSpec accepted an unknown kernel")
+	}
+}

@@ -79,6 +79,13 @@ type Spec struct {
 	// least one of the two must yield a mix.
 	Workloads [][]string `json:"workloads,omitempty"`
 	Mixes     int        `json:"mixes,omitempty"`
+
+	// Kernel selects the simulation loop every job runs under: "" or
+	// "events" (the cycle-skipping default) or "stepped" (the
+	// cycle-by-cycle reference). It is not a grid axis and never appears
+	// in job keys — both kernels produce byte-identical artifacts, which
+	// the differential suite verifies.
+	Kernel string `json:"kernel,omitempty"`
 }
 
 // ParseSpec decodes and validates a JSON sweep spec.
@@ -178,6 +185,9 @@ func (s Spec) Validate() error {
 			return fmt.Errorf("runner: %v", err)
 		}
 	}
+	if _, err := sim.ParseKernel(d.Kernel); err != nil {
+		return fmt.Errorf("runner: %v", err)
+	}
 	for mi, mix := range d.Workloads {
 		if len(mix) == 0 || len(mix) > d.Cores {
 			return fmt.Errorf("runner: workload mix %d needs 1..%d benchmarks, got %d", mi, d.Cores, len(mix))
@@ -238,6 +248,7 @@ func (s Spec) Expand() ([]Job, error) {
 		return nil, err
 	}
 	d := s.withDefaults()
+	kernel, _ := sim.ParseKernel(d.Kernel)
 
 	type mixEntry struct {
 		label string
@@ -284,6 +295,7 @@ func (s Spec) Expand() ([]Job, error) {
 								}
 								cfg.DRAM.Refresh.Mode = rfMode
 								cfg.DRAM.Page = pagePol
+								cfg.Kernel = kernel
 								cfg.Workload = append([]workload.Profile(nil), mx.profs...)
 								idx := len(jobs)
 								jobs = append(jobs, Job{

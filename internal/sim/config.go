@@ -46,6 +46,50 @@ func (k PrefetcherKind) String() string {
 	}
 }
 
+// Kernel selects the main-loop execution strategy. Both kernels simulate
+// the same machine cycle for cycle and must produce identical results —
+// the lockstep differential suite in kernel_test.go enforces it.
+type Kernel int
+
+const (
+	// KernelEvents is the cycle-skipping event kernel (the default): every
+	// component reports its next interesting cycle and the loop jumps to
+	// the minimum, turning per-cycle stall accounting into per-interval
+	// arithmetic.
+	KernelEvents Kernel = iota
+	// KernelStepped is the retained cycle-by-cycle reference loop the
+	// event kernel is differentially tested against.
+	KernelStepped
+)
+
+// String implements fmt.Stringer.
+func (k Kernel) String() string {
+	switch k {
+	case KernelEvents:
+		return "events"
+	case KernelStepped:
+		return "stepped"
+	default:
+		return fmt.Sprintf("Kernel(%d)", int(k))
+	}
+}
+
+// ParseKernel maps the configuration-surface spellings onto a Kernel. The
+// empty string is KernelEvents, so zero-valued configs take the fast path.
+func ParseKernel(s string) (Kernel, error) {
+	switch s {
+	case "", "events":
+		return KernelEvents, nil
+	case "stepped":
+		return KernelStepped, nil
+	default:
+		return KernelEvents, fmt.Errorf("sim: unknown kernel %q (events, stepped)", s)
+	}
+}
+
+// KernelNames returns the accepted ParseKernel vocabulary.
+func KernelNames() []string { return []string{"events", "stepped"} }
+
 // FilterKind optionally wraps the prefetcher with a §6.12 comparison
 // mechanism.
 type FilterKind int
@@ -98,6 +142,11 @@ type Config struct {
 
 	TargetInsts uint64 // instructions each active core must retire
 	MaxCycles   uint64 // safety bound; 0 derives one from TargetInsts
+
+	// Kernel selects the main-loop strategy: KernelEvents (the zero value)
+	// skips provably-inert cycle runs, KernelStepped executes every cycle.
+	// Results are identical either way.
+	Kernel Kernel
 
 	TrackServiceHist   bool // Figure 4(a) service-time histograms
 	TrackAccuracyTrace bool // Figure 4(b) per-interval PAR of core 0
@@ -192,6 +241,9 @@ func (c Config) Validate() error {
 	}
 	if c.TargetInsts == 0 {
 		return fmt.Errorf("sim: TargetInsts must be positive")
+	}
+	if c.Kernel != KernelEvents && c.Kernel != KernelStepped {
+		return fmt.Errorf("sim: unknown kernel %d", int(c.Kernel))
 	}
 	return nil
 }

@@ -1,0 +1,53 @@
+package sim
+
+import (
+	"testing"
+
+	"padc/internal/trace"
+	"padc/internal/workload"
+)
+
+// benchConfig is an idle-heavy single-core configuration: a dependent
+// pointer chase over a cache-defeating working set, no prefetcher, and a
+// small ROB. Every load serializes a full DRAM round trip behind the
+// previous one, so the core stalls for the vast majority of cycles — the
+// workload class the event kernel was built for.
+func benchConfig(k Kernel) Config {
+	cfg := Baseline(1)
+	cfg.Core.ROB = 64
+	cfg.Prefetcher = PFNone
+	cfg.TargetInsts = 50_000
+	cfg.Workload = []workload.Profile{{
+		Name:  "chase",
+		Class: workload.Unfriendly,
+		Gen: trace.Gen{
+			Pattern:  trace.RandomPattern{Seed: 1, WSLines: 1 << 20, Dep: true},
+			MemEvery: 4,
+		},
+	}}
+	cfg.Kernel = k
+	return cfg
+}
+
+// BenchmarkSystemRun measures whole-system simulation throughput under
+// both kernels. The ns/cycle metric (wall time per simulated cycle) is
+// the headline: the event kernel must stay well ahead of stepped on
+// stall-heavy workloads. Recorded by scripts/benchsnap into
+// BENCH_sweep.json and guarded by `make bench-compare`.
+func BenchmarkSystemRun(b *testing.B) {
+	for _, k := range []Kernel{KernelStepped, KernelEvents} {
+		k := k
+		b.Run(k.String(), func(b *testing.B) {
+			var cycles uint64
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				res, err := Run(benchConfig(k))
+				if err != nil {
+					b.Fatal(err)
+				}
+				cycles += res.Cycles
+			}
+			b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(cycles), "ns/cycle")
+		})
+	}
+}

@@ -1,0 +1,65 @@
+package sim
+
+import (
+	"reflect"
+	"testing"
+
+	"padc/internal/dram"
+	"padc/internal/dram/refresh"
+	"padc/internal/memctrl"
+	"padc/internal/workload"
+)
+
+// FuzzKernelDifferential drives both run-loop kernels from fuzzed
+// configuration bytes and fails on any stats divergence. It is the
+// adversarial arm of the lockstep suite: the randomized test samples the
+// axes uniformly, the fuzzer hunts the corners.
+func FuzzKernelDifferential(f *testing.F) {
+	f.Add(uint8(0), uint8(0), uint8(0), uint8(0), uint8(0), uint16(2_000), false, false)
+	f.Add(uint8(3), uint8(1), uint8(1), uint8(1), uint8(1), uint16(5_000), true, false)
+	f.Add(uint8(5), uint8(4), uint8(2), uint8(2), uint8(3), uint16(8_000), true, true)
+	f.Add(uint8(1), uint8(2), uint8(0), uint8(2), uint8(7), uint16(3_000), false, true)
+
+	pool := []string{"swim", "mcf", "art", "milc", "hmmer", "omnetpp", "libquantum", "sjeng"}
+
+	f.Fuzz(func(t *testing.T, polSel, pfSel, refSel, pageSel, wlSel uint8, insts uint16, apd, runahead bool) {
+		cores := 1 + int(wlSel>>6)%2 // 1 or 2 cores
+		cfg := Baseline(cores)
+		cfg.TargetInsts = 1_000 + uint64(insts)%8_000
+		cfg.Policy = []memctrl.Policy{
+			memctrl.DemandPrefEqual, memctrl.DemandFirst, memctrl.PrefetchFirst,
+			memctrl.APS, memctrl.APSRank,
+		}[int(polSel)%5]
+		cfg.Prefetcher = []PrefetcherKind{PFNone, PFStream, PFStride, PFCDC, PFMarkov}[int(pfSel)%5]
+		cfg.PADC.EnableAPD = apd
+		cfg.Core.Runahead = runahead
+		cfg.DRAM.Refresh.Mode = []refresh.Mode{refresh.Off, refresh.PerBank, refresh.AllBank}[int(refSel)%3]
+		if cfg.DRAM.Refresh.Mode != refresh.Off {
+			cfg.DRAM.Refresh.TREFI = 3_000
+			cfg.DRAM.Refresh.MaxPostpone = 3
+		}
+		cfg.DRAM.Page = []dram.PagePolicy{dram.OpenPage, dram.ClosedPage, dram.AdaptivePage}[int(pageSel)%3]
+		for i := 0; i < cores; i++ {
+			cfg.Workload = append(cfg.Workload, workload.MustByName(pool[(int(wlSel)+i)%len(pool)]))
+		}
+
+		run := func(k Kernel) (any, string) {
+			c := cfg
+			c.Kernel = k
+			res, err := Run(c)
+			if err != nil {
+				return res, err.Error()
+			}
+			return res, ""
+		}
+		resS, errS := run(KernelStepped)
+		resE, errE := run(KernelEvents)
+		if errS != errE {
+			t.Fatalf("error mismatch:\n  stepped: %q\n  events:  %q", errS, errE)
+		}
+		if !reflect.DeepEqual(resS, resE) {
+			t.Fatalf("kernel divergence:\n  config:  %s\n  stepped: %+v\n  events:  %+v",
+				describeCfg(cfg), resS, resE)
+		}
+	})
+}

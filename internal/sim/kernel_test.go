@@ -1,0 +1,384 @@
+package sim
+
+// Lockstep differential suite for the two run-loop kernels: the
+// cycle-skipping event kernel (KernelEvents, the default) must be
+// indistinguishable from the cycle-by-cycle reference (KernelStepped) on
+// every observable output — stats.Results, telemetry series, flight
+// epochs, lifecycle breakdowns — across the whole configuration space.
+// The property tests additionally replay the event kernel's skip claims
+// inside a stepped run and verify that every claimed-inert cycle really
+// is inert.
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"padc/internal/core"
+	"padc/internal/dram"
+	"padc/internal/dram/refresh"
+	"padc/internal/memctrl"
+	"padc/internal/stats"
+	"padc/internal/telemetry"
+	"padc/internal/telemetry/flight"
+	"padc/internal/telemetry/lifecycle"
+	"padc/internal/workload"
+)
+
+// diffPool spans all three workload classes plus dependent pointer
+// chases, so random draws cover streaming, bursty, and latency-bound
+// memory behavior.
+var diffPool = []string{
+	"swim", "libquantum", "leslie3d", "mcf", "astar", "gcc",
+	"art", "milc", "omnetpp", "xalancbmk", "hmmer", "sjeng",
+}
+
+// randomKernelConfig draws one configuration across the policy ×
+// prefetcher × filter × refresh × page × APD × runahead × topology axes.
+// Instruction targets are kept small: the point is breadth, not depth.
+func randomKernelConfig(r *rand.Rand) Config {
+	cores := []int{1, 2, 4}[r.Intn(3)]
+	cfg := Baseline(cores)
+	cfg.TargetInsts = 6_000 + uint64(r.Intn(4))*4_000
+
+	type pol struct {
+		p     memctrl.Policy
+		rules string
+	}
+	pick := []pol{
+		{p: memctrl.DemandPrefEqual},
+		{p: memctrl.DemandFirst},
+		{p: memctrl.PrefetchFirst},
+		{p: memctrl.APS},
+		{p: memctrl.APSRank},
+		{rules: "rules:critical,rowhit,urgent,fcfs"},
+		{rules: "rules:rowhit,demandfirst,fcfs"},
+	}[r.Intn(7)]
+	cfg.Policy, cfg.Rules = pick.p, pick.rules
+
+	cfg.Prefetcher = []PrefetcherKind{PFNone, PFStream, PFStride, PFCDC, PFMarkov}[r.Intn(5)]
+	if cfg.Prefetcher != PFNone {
+		cfg.Filter = []FilterKind{FilterNone, FilterNone, FilterDDPF, FilterFDP}[r.Intn(4)]
+	}
+	cfg.PADC = core.DefaultConfig()
+	cfg.PADC.EnableAPD = r.Intn(2) == 0
+	cfg.PADC.EnableUrgency = r.Intn(2) == 0
+
+	cfg.DRAM.Refresh.Mode = []refresh.Mode{refresh.Off, refresh.PerBank, refresh.AllBank}[r.Intn(3)]
+	if cfg.DRAM.Refresh.Mode != refresh.Off {
+		// Shrink the window so short runs cross accrual, postpone and
+		// forced-refresh boundaries.
+		cfg.DRAM.Refresh.TREFI = 3_000 + uint64(r.Intn(3))*1_000
+		cfg.DRAM.Refresh.MaxPostpone = 2 + r.Intn(4)
+	}
+	cfg.DRAM.Page = []dram.PagePolicy{dram.OpenPage, dram.ClosedPage, dram.AdaptivePage}[r.Intn(3)]
+	cfg.DRAM.Channels = 1 + r.Intn(2)
+	cfg.DRAM.Permutation = r.Intn(2) == 0
+
+	cfg.Core.Runahead = r.Intn(2) == 0
+	if r.Intn(3) == 0 {
+		cfg.Core.ROB = 64 // small window: more full-ROB stalls, longer skips
+	}
+	cfg.SharedL2 = r.Intn(4) == 0
+	cfg.TrackServiceHist = r.Intn(2) == 0
+	cfg.TrackAccuracyTrace = r.Intn(2) == 0
+	cfg.Profile = r.Intn(2) == 0
+
+	for i := 0; i < cores; i++ {
+		cfg.Workload = append(cfg.Workload, workload.MustByName(diffPool[r.Intn(len(diffPool))]))
+	}
+	return cfg
+}
+
+// runKernel runs cfg under the given kernel, returning the results, the
+// error string ("" for success), and the system for post-run inspection.
+func runKernel(t *testing.T, cfg Config, k Kernel) (stats.Results, string, *System) {
+	t.Helper()
+	cfg.Kernel = k
+	sys, err := New(cfg)
+	if err != nil {
+		t.Fatalf("New(%v): %v", k, err)
+	}
+	res, err := sys.Run()
+	msg := ""
+	if err != nil {
+		msg = err.Error()
+	}
+	return res, msg, sys
+}
+
+// TestKernelDifferentialRandomized is the headline lockstep differential:
+// dozens of seeded configurations across every axis, each run under both
+// kernels, requiring exactly equal results and errors.
+func TestKernelDifferentialRandomized(t *testing.T) {
+	const seeds = 36
+	for seed := 0; seed < seeds; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%02d", seed), func(t *testing.T) {
+			t.Parallel()
+			cfg := randomKernelConfig(rand.New(rand.NewSource(int64(seed))))
+			resS, errS, _ := runKernel(t, cfg, KernelStepped)
+			resE, errE, sysE := runKernel(t, cfg, KernelEvents)
+			if errS != errE {
+				t.Fatalf("error mismatch:\n  stepped: %q\n  events:  %q", errS, errE)
+			}
+			if !reflect.DeepEqual(resS, resE) {
+				t.Fatalf("results diverge for %s:\n  stepped: %+v\n  events:  %+v",
+					describeCfg(cfg), resS, resE)
+			}
+			skips, skipped := sysE.SkipStats()
+			t.Logf("%s: %d cycles, %d skips covering %d cycles (%.1f%%)",
+				describeCfg(cfg), resE.Cycles, skips, skipped,
+				100*float64(skipped)/float64(resE.Cycles))
+		})
+	}
+}
+
+func describeCfg(cfg Config) string {
+	pol := cfg.Rules
+	if pol == "" {
+		pol = fmt.Sprintf("policy%d", int(cfg.Policy))
+	}
+	names := make([]string, len(cfg.Workload))
+	for i, w := range cfg.Workload {
+		names[i] = w.Name
+	}
+	return fmt.Sprintf("%s/%v/refresh=%v/page=%v/apd=%v/ra=%v/ch=%d/%v",
+		pol, cfg.Prefetcher, cfg.DRAM.Refresh.Mode, cfg.DRAM.Page,
+		cfg.PADC.EnableAPD, cfg.Core.Runahead, cfg.DRAM.Channels, names)
+}
+
+// TestKernelTelemetryRollups runs both kernels with the full observability
+// stack attached — telemetry epochs, the bank-state flight recorder, and
+// the request-lifecycle tracer — and requires byte-identical exports.
+func TestKernelTelemetryRollups(t *testing.T) {
+	base := func() Config {
+		cfg := quickCfg(2, "swim", "art")
+		cfg.TargetInsts = 40_000
+		cfg.DRAM.Refresh.Mode = refresh.PerBank
+		cfg.DRAM.Refresh.TREFI = 4_000
+		cfg.Profile = true
+		return cfg
+	}
+
+	type export struct {
+		metrics, events, banks, spans, breakdown []byte
+	}
+	collect := func(k Kernel) export {
+		cfg := base()
+		cfg.Kernel = k
+		cfg.Telemetry = telemetry.New(telemetry.Options{EpochCycles: 5_000})
+		cfg.Flight = flight.New(flight.Options{EpochCycles: 5_000})
+		cfg.Lifecycle = lifecycle.New(lifecycle.Options{})
+		if _, err := Run(cfg); err != nil {
+			t.Fatalf("Run(%v): %v", k, err)
+		}
+		var out export
+		bufs := []struct {
+			dst *[]byte
+			fn  func(*bytes.Buffer) error
+		}{
+			{&out.metrics, func(b *bytes.Buffer) error { return cfg.Telemetry.WriteCSV(b) }},
+			{&out.events, func(b *bytes.Buffer) error { return cfg.Telemetry.WriteJSONL(b) }},
+			{&out.banks, func(b *bytes.Buffer) error { return cfg.Flight.WriteCSV(b) }},
+			{&out.spans, func(b *bytes.Buffer) error { return cfg.Lifecycle.WriteJSONL(b) }},
+			{&out.breakdown, func(b *bytes.Buffer) error { return cfg.Lifecycle.WriteCSV(b) }},
+		}
+		for _, x := range bufs {
+			var b bytes.Buffer
+			if err := x.fn(&b); err != nil {
+				t.Fatal(err)
+			}
+			*x.dst = b.Bytes()
+		}
+		return out
+	}
+
+	stepped := collect(KernelStepped)
+	events := collect(KernelEvents)
+	for _, cmp := range []struct {
+		name string
+		a, b []byte
+	}{
+		{"telemetry CSV", stepped.metrics, events.metrics},
+		{"telemetry JSONL", stepped.events, events.events},
+		{"flight CSV", stepped.banks, events.banks},
+		{"lifecycle JSONL", stepped.spans, events.spans},
+		{"lifecycle CSV", stepped.breakdown, events.breakdown},
+	} {
+		if !bytes.Equal(cmp.a, cmp.b) {
+			t.Errorf("%s differs between kernels (%d vs %d bytes)", cmp.name, len(cmp.a), len(cmp.b))
+		}
+	}
+}
+
+// auditSignature is the progress-counter fingerprint the lockstep audit
+// tracks: every counter here advances only when some component acts, so
+// it must stay frozen across a claimed-inert window. Stall accounting
+// (StallCycles, cycle-class buckets) is deliberately excluded — those are
+// exactly the quantities Core.Skip reproduces arithmetically.
+func auditSignature(s *System) string {
+	var b bytes.Buffer
+	for _, cs := range s.cores {
+		fmt.Fprintf(&b, "c%d:%d,%d,%d,%d,%d;", cs.id,
+			cs.core.Retired, cs.core.Loads, cs.prefSent, cs.prefDropped, cs.l2Miss)
+	}
+	fmt.Fprintf(&b, "svc:%d,hits:%d;", s.serviced, s.rowHits)
+	for i, ctrl := range s.ctrls {
+		fmt.Fprintf(&b, "m%d:%d,%d;", i, ctrl.Pending(), ctrl.Occupancy())
+		if eng := ctrl.Refresh(); eng != nil {
+			fmt.Fprintf(&b, "r%d:%d,%d,%d,%d;", i, eng.Issued, eng.Postponed, eng.PulledIn, eng.Forced)
+		}
+	}
+	return b.String()
+}
+
+// TestEventWheelLockstepAudit replays the event kernel's decisions inside
+// stepped runs: at each executed cycle where the previous claim expires,
+// nextEvent issues a new claim; every stepped cycle strictly inside the
+// claimed window must (a) leave the progress signature untouched and
+// (b) never see a component event earlier than the claim — i.e. the event
+// kernel cannot skip past anything.
+func TestEventWheelLockstepAudit(t *testing.T) {
+	for seed := 0; seed < 8; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%02d", seed), func(t *testing.T) {
+			t.Parallel()
+			cfg := randomKernelConfig(rand.New(rand.NewSource(int64(100 + seed))))
+			cfg.TargetInsts = 5_000
+			cfg.Kernel = KernelStepped
+			sys, err := New(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			var (
+				claimAt, claimUntil uint64
+				claimSig            string
+				windows, audited    uint64
+			)
+			sys.onCycle = func(now uint64) {
+				if now >= claimUntil {
+					claimAt, claimUntil = now, sys.nextEvent(now)
+					if claimUntil <= now {
+						t.Fatalf("cycle %d: claim %d not in the future", now, claimUntil)
+					}
+					if claimUntil > now+1 {
+						windows++
+						claimSig = auditSignature(sys)
+					}
+					return
+				}
+				// now is strictly inside (claimAt, claimUntil): the event
+				// kernel would have skipped this cycle.
+				audited++
+				if got := auditSignature(sys); got != claimSig {
+					t.Fatalf("claimed-inert cycle %d (window %d..%d) changed state:\n  before: %s\n  after:  %s",
+						now, claimAt, claimUntil, claimSig, got)
+				}
+				if re := sys.nextEvent(now); re < claimUntil {
+					t.Fatalf("cycle %d inside window %d..%d reports earlier event %d: kernel would skip past it",
+						now, claimAt, claimUntil, re)
+				}
+			}
+			if _, err := sys.Run(); err != nil {
+				t.Fatal(err)
+			}
+			// Some draws (notably runahead, which fetches every cycle while
+			// a miss is outstanding) legitimately never open a window; the
+			// skips>0 assertion lives in TestEventKernelInvariants on a
+			// workload guaranteed to stall.
+			t.Logf("%s: %d windows, %d audited inert cycles", describeCfg(cfg), windows, audited)
+		})
+	}
+}
+
+// TestEventKernelInvariants checks the event kernel's own bookkeeping:
+// executed cycles strictly increase, every jump lands exactly on the
+// claim made at the previous executed cycle, executed + skipped cycles
+// sum to the reported total, and with the profiler on, every core's
+// cycle-class buckets still sum to its frozen cycle count.
+func TestEventKernelInvariants(t *testing.T) {
+	cfg := quickCfg(2, "mcf", "art")
+	cfg.TargetInsts = 30_000
+	cfg.Profile = true
+	cfg.Kernel = KernelEvents
+	sys, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var (
+		executed  uint64
+		lastCycle uint64
+		lastClaim uint64
+	)
+	sys.onCycle = func(now uint64) {
+		if now <= lastCycle {
+			t.Fatalf("executed cycle %d not after %d", now, lastCycle)
+		}
+		if lastClaim != 0 && now != lastClaim {
+			t.Fatalf("executed cycle %d, but the claim at %d was %d", now, lastCycle, lastClaim)
+		}
+		lastCycle = now
+		lastClaim = sys.nextEvent(now)
+		if lastClaim <= now {
+			t.Fatalf("cycle %d: claim %d not in the future", now, lastClaim)
+		}
+		executed++
+	}
+	res, err := sys.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	skips, skipped := sys.SkipStats()
+	if executed+skipped != res.Cycles {
+		t.Fatalf("executed %d + skipped %d != total cycles %d", executed, skipped, res.Cycles)
+	}
+	if skips == 0 || skipped == 0 {
+		t.Fatalf("event kernel never skipped on a stall-heavy workload (skips=%d skipped=%d)", skips, skipped)
+	}
+	for i, cr := range res.PerCore {
+		var sum uint64
+		for _, v := range cr.Attribution {
+			sum += v
+		}
+		if sum != cr.Cycles {
+			t.Fatalf("core %d: attribution sums to %d, frozen at cycle %d", i, sum, cr.Cycles)
+		}
+	}
+	t.Logf("executed %d of %d cycles (%d skips covering %d)", executed, res.Cycles, skips, skipped)
+}
+
+// TestKernelConfigSurface pins the Kernel parse/validate vocabulary.
+func TestKernelConfigSurface(t *testing.T) {
+	for _, tc := range []struct {
+		in   string
+		want Kernel
+		ok   bool
+	}{
+		{"", KernelEvents, true},
+		{"events", KernelEvents, true},
+		{"stepped", KernelStepped, true},
+		{"ticks", 0, false},
+	} {
+		got, err := ParseKernel(tc.in)
+		if (err == nil) != tc.ok {
+			t.Fatalf("ParseKernel(%q) err = %v, want ok=%v", tc.in, err, tc.ok)
+		}
+		if tc.ok && got != tc.want {
+			t.Fatalf("ParseKernel(%q) = %v, want %v", tc.in, got, tc.want)
+		}
+	}
+	if KernelEvents.String() != "events" || KernelStepped.String() != "stepped" {
+		t.Fatal("kernel String() vocabulary changed")
+	}
+	cfg := quickCfg(1, "swim")
+	cfg.Kernel = Kernel(7)
+	if err := cfg.Validate(); err == nil {
+		t.Fatal("Validate accepted an out-of-range kernel")
+	}
+}

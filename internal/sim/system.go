@@ -23,6 +23,10 @@ const coreSpaceShift = 44
 // histBuckets matches Figure 4(a): nine 200-cycle service-time bins.
 const histBuckets = 9
 
+// dropEvery is the APD scan period: every dropEvery cycles the run loop
+// sweeps waiting prefetches past their drop threshold out of the buffers.
+const dropEvery = 128
+
 // coreCtx bundles one active core with its private hierarchy and stats.
 type coreCtx struct {
 	id   int
@@ -86,6 +90,25 @@ type System struct {
 	tel     *telemetry.Telemetry // nil when telemetry is disabled
 	svcHist *telemetry.Histogram // dram/service_cycles (nil-safe)
 	lc      *lifecycle.Tracer    // nil when span tracing is disabled
+
+	// Run-loop bounds, kept as fields so nextEvent (and the lockstep
+	// property tests replaying its decisions) sees the loop's live state.
+	runMax       uint64
+	dramEvery    uint64
+	apdActive    bool
+	nextSample   uint64
+	nextRotate   uint64
+	nextInterval uint64
+
+	// Event-kernel accounting: jumps taken and cycles they covered.
+	// Deliberately not part of stats.Results — results are identical
+	// across kernels by contract.
+	skips   uint64
+	skipped uint64
+
+	// onCycle, when non-nil, runs at the end of every executed cycle body
+	// (test hook for the lockstep audit; nil costs one compare per cycle).
+	onCycle func(now uint64)
 }
 
 // New builds a System from cfg.
@@ -116,7 +139,14 @@ func New(cfg Config) (*System, error) {
 		s.chans[i] = dram.NewChannel(cfg.DRAM)
 		s.ctrls[i] = memctrl.NewStack(stack, s.chans[i], cfg.BufferSlots, st)
 		if cfg.DRAM.Refresh.Enabled() {
-			s.ctrls[i].AttachRefresh(refresh.NewEngine(cfg.DRAM.Refresh, cfg.DRAM.Banks))
+			eng := refresh.NewEngine(cfg.DRAM.Refresh, cfg.DRAM.Banks)
+			// The run loop ticks controllers every EffectiveTickEvery
+			// cycles while they have work, so each Advance normally covers
+			// exactly one tick period. The event kernel may skip across
+			// provably-idle gaps; capping the delta at the period keeps the
+			// first post-gap blocked-cycle charge identical to stepping.
+			eng.CapDelta(cfg.DRAM.EffectiveTickEvery())
+			s.ctrls[i].AttachRefresh(eng)
 		}
 		if cfg.Flight != nil {
 			s.ctrls[i].AttachFlight(cfg.Flight, i)
@@ -595,44 +625,48 @@ func (s *System) freeze(cs *coreCtx) {
 // instruction count (cores that finish early keep executing to preserve
 // contention, with their statistics frozen, following the paper's
 // methodology) and returns the collected results.
+//
+// Two kernels drive the same per-cycle body. KernelStepped executes every
+// cycle — the reference. KernelEvents executes the identical body, then
+// asks every component for its next interesting cycle (nextEvent) and
+// jumps straight there, applying the skipped cycles' stall accounting
+// arithmetically via Core.Skip. Both kernels produce identical results by
+// construction, and the lockstep differential suite enforces it.
 func (s *System) Run() (stats.Results, error) {
 	cfg := s.cfg
-	maxCycles := cfg.maxCycles()
+	s.runMax = cfg.maxCycles()
 	interval := s.padc.IntervalCycles()
-	dramEvery := cfg.DRAM.TickEvery
-	if dramEvery == 0 {
-		dramEvery = 4
-	}
-	const dropEvery = 128
-	apd := cfg.PADC.EnableAPD && cfg.Prefetcher != PFNone
+	s.dramEvery = cfg.DRAM.EffectiveTickEvery()
+	s.apdActive = cfg.PADC.EnableAPD && cfg.Prefetcher != PFNone
+	events := cfg.Kernel == KernelEvents
 
 	// The first accuracy samples come early (geometric warm-up) so APS
 	// escapes its optimistic cold-start quickly, then settle to the
 	// paper's fixed interval.
-	nextInterval := interval / 8
-	if nextInterval == 0 {
-		nextInterval = interval
+	s.nextInterval = interval / 8
+	if s.nextInterval == 0 {
+		s.nextInterval = interval
 	}
 
 	// Epoch sampling: disabled telemetry leaves nextSample at the
 	// unreachable maximum, so the per-cycle cost is one compare.
 	epoch := s.tel.EpochCycles()
-	nextSample := ^uint64(0)
+	s.nextSample = ^uint64(0)
 	var lastSample uint64
 	if epoch > 0 {
-		nextSample = epoch
+		s.nextSample = epoch
 	}
 
 	// Flight-recorder rotation runs on its own period, same disabled-cost
 	// trick as epoch sampling: one compare per cycle when off.
 	fEpoch := cfg.Flight.EpochCycles()
-	nextRotate := ^uint64(0)
+	s.nextRotate = ^uint64(0)
 	if fEpoch > 0 {
-		nextRotate = fEpoch
+		s.nextRotate = fEpoch
 	}
 
 	remaining := len(s.cores)
-	for remaining > 0 && s.cycle < maxCycles {
+	for remaining > 0 && s.cycle < s.runMax {
 		s.cycle++
 		now := s.cycle
 
@@ -643,7 +677,7 @@ func (s *System) Run() (stats.Results, error) {
 			s.cores[(start+i)%len(s.cores)].core.Tick(now)
 		}
 
-		if now%dramEvery == 0 {
+		if now%s.dramEvery == 0 {
 			for _, ctrl := range s.ctrls {
 				// A refresh engine accrues obligations and pulls refreshes
 				// into idle banks, so it must tick even with an empty buffer.
@@ -656,22 +690,22 @@ func (s *System) Run() (stats.Results, error) {
 			}
 		}
 
-		if apd && now%dropEvery == 0 {
+		if s.apdActive && now%dropEvery == 0 {
 			s.dropExpired(now)
 		}
 
-		if now >= nextSample {
+		if now >= s.nextSample {
 			s.tel.Sample(now)
 			lastSample = now
-			nextSample += epoch
+			s.nextSample += epoch
 		}
 
-		if now >= nextRotate {
+		if now >= s.nextRotate {
 			cfg.Flight.Rotate(now)
-			nextRotate += fEpoch
+			s.nextRotate += fEpoch
 		}
 
-		if now >= nextInterval {
+		if now >= s.nextInterval {
 			s.padc.EndInterval()
 			for _, cs := range s.cores {
 				if cs.fdp != nil {
@@ -682,10 +716,10 @@ func (s *System) Run() (stats.Results, error) {
 			if cfg.TrackAccuracyTrace {
 				s.accTrace = append(s.accTrace, s.padc.Accuracy(0))
 			}
-			if nextInterval < interval {
-				nextInterval *= 2
+			if s.nextInterval < interval {
+				s.nextInterval *= 2
 			} else {
-				nextInterval += interval
+				s.nextInterval += interval
 			}
 		}
 
@@ -693,6 +727,25 @@ func (s *System) Run() (stats.Results, error) {
 			if !cs.frozen && cs.core.Retired >= cfg.TargetInsts {
 				s.freeze(cs)
 				remaining--
+			}
+		}
+
+		if s.onCycle != nil {
+			s.onCycle(now)
+		}
+		if events && remaining > 0 {
+			if next := s.nextEvent(now); next > now+1 {
+				// Cycles in (now, next) are provably inert: no retire,
+				// issue, fetch, DRAM action, refresh action or epoch
+				// boundary can occur. Apply their stall accounting
+				// arithmetically and land the loop's increment on next.
+				n := next - now - 1
+				for _, cs := range s.cores {
+					cs.core.Skip(n)
+				}
+				s.cycle += n
+				s.skips++
+				s.skipped += n
 			}
 		}
 	}
@@ -714,10 +767,75 @@ func (s *System) Run() (stats.Results, error) {
 			}
 		}
 		return s.results(), fmt.Errorf("sim: %d core(s) hit the %d-cycle safety bound before retiring %d instructions",
-			remaining, maxCycles, cfg.TargetInsts)
+			remaining, s.runMax, cfg.TargetInsts)
 	}
 	return s.results(), nil
 }
+
+// nextEvent computes the first cycle after now at which any component can
+// act: core retire/issue/fetch wake-ups, controller work (completion
+// harvest, bank arbitration, refresh duties — lifted onto the DRAM tick
+// grid, since controllers only tick there), the APD drop scan, and the
+// telemetry/flight/PADC epoch boundaries. Every cycle strictly between
+// now and the returned value is inert: stepping through it would only
+// repeat the stall accounting Core.Skip reproduces arithmetically.
+func (s *System) nextEvent(now uint64) uint64 {
+	next := s.runMax
+	for _, cs := range s.cores {
+		if e := cs.core.NextEvent(now); e < next {
+			next = e
+		}
+	}
+	nextGrid := now - now%s.dramEvery + s.dramEvery
+	for _, ctrl := range s.ctrls {
+		e := ctrl.NextEvent(now)
+		if e == memctrl.NeverEvent {
+			continue
+		}
+		// Controllers act only on grid ticks: lift the event to the first
+		// grid cycle at or after it — exactly where the stepped loop would
+		// first service it.
+		if e < nextGrid {
+			e = nextGrid
+		} else if r := e % s.dramEvery; r != 0 {
+			e += s.dramEvery - r
+		}
+		if e < next {
+			next = e
+		}
+	}
+	if s.apdActive {
+		// The drop scan only acts on buffered prefetches; while any exist
+		// the next dropEvery boundary must execute so drops land on the
+		// same cycle the stepped loop drops them.
+		for _, ctrl := range s.ctrls {
+			if ctrl.HasPrefetches() {
+				if e := now - now%dropEvery + dropEvery; e < next {
+					next = e
+				}
+				break
+			}
+		}
+	}
+	if s.nextSample < next {
+		next = s.nextSample
+	}
+	if s.nextRotate < next {
+		next = s.nextRotate
+	}
+	if s.nextInterval < next {
+		next = s.nextInterval
+	}
+	if next <= now {
+		next = now + 1
+	}
+	return next
+}
+
+// SkipStats reports the event kernel's jump count and the cycles those
+// jumps covered (both zero under KernelStepped). Executed cycles plus
+// skipped cycles always equal Results.Cycles.
+func (s *System) SkipStats() (skips, skippedCycles uint64) { return s.skips, s.skipped }
 
 func (s *System) results() stats.Results {
 	r := stats.Results{

@@ -4,8 +4,20 @@ import (
 	"bufio"
 	"fmt"
 	"io"
+	"sort"
 	"strconv"
 )
+
+// sortedKeys returns a map's keys in ascending order, for deterministic
+// export iteration.
+func sortedKeys(m map[int16]bool) []int16 {
+	out := make([]int16, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
 
 // cyclesPerMicro converts simulator cycles to trace_event microseconds
 // (the paper's 4GHz core clock: 4000 cycles per µs).
@@ -89,7 +101,9 @@ func (t *Telemetry) WriteChromeTraceWith(w io.Writer, extra func(emit func(forma
 		fmt.Fprintf(bw, format, args...)
 	}
 
-	// Name the tracks that appear in the event stream.
+	// Name the tracks that appear in the event stream. Keys are sorted so
+	// the trace file is byte-identical across runs (map iteration order
+	// would otherwise leak into the metadata records).
 	chans := map[int16]bool{}
 	cores := map[int16]bool{}
 	for _, ev := range t.Events() {
@@ -100,12 +114,12 @@ func (t *Telemetry) WriteChromeTraceWith(w io.Writer, extra func(emit func(forma
 			cores[ev.Core] = true
 		}
 	}
-	for ch := range chans {
+	for _, ch := range sortedKeys(chans) {
 		emit(`{"ph":"M","name":"process_name","pid":%d,"args":{"name":"memctrl%d"}}`, ch, ch)
 	}
 	if len(cores) > 0 {
 		emit(`{"ph":"M","name":"process_name","pid":%d,"args":{"name":"cores"}}`, chromeCorePID)
-		for c := range cores {
+		for _, c := range sortedKeys(cores) {
 			emit(`{"ph":"M","name":"thread_name","pid":%d,"tid":%d,"args":{"name":"core%d"}}`, chromeCorePID, c, c)
 		}
 	}

@@ -114,6 +114,13 @@ type SystemConfig struct {
 
 	TargetInsts uint64 // instructions each core retires before stats freeze
 
+	// Kernel selects the main-loop strategy: "" or "events" (default, the
+	// cycle-skipping event kernel) or "stepped" (the cycle-by-cycle
+	// reference loop). Both simulate the same machine and produce
+	// identical results; "stepped" exists as the differential-testing
+	// baseline and as a debugging fallback.
+	Kernel string
+
 	// Telemetry, when non-nil, instruments the run: counters, epoch time
 	// series and trace events land in it (build one with NewTelemetry and
 	// export with its WriteCSV / WriteJSONL / WriteChromeTrace / Summary
@@ -244,6 +251,11 @@ func (c SystemConfig) toSim() (sim.Config, error) {
 	if c.TargetInsts > 0 {
 		cfg.TargetInsts = c.TargetInsts
 	}
+	kernel, err := sim.ParseKernel(c.Kernel)
+	if err != nil {
+		return sim.Config{}, err
+	}
+	cfg.Kernel = kernel
 	cfg.Telemetry = c.Telemetry
 	cfg.Flight = c.Flight
 	cfg.Lifecycle = c.Lifecycle

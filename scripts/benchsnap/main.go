@@ -34,14 +34,17 @@ import (
 )
 
 // targets are the benchmarks the snapshot tracks: the parallel sweep
-// engine (wall-clock scaling) and the memory-controller scheduler hot
-// path (per-tick cost across policies and buffer depths).
+// engine (wall-clock scaling), the memory-controller scheduler hot path
+// (per-tick cost across policies and buffer depths), and the whole-system
+// run loop under both kernels (the stepped/events pair pins the event
+// kernel's speedup on stall-heavy workloads).
 var targets = []struct {
 	pkg   string
 	bench string
 }{
 	{"./internal/runner", "^BenchmarkSweepParallel$"},
 	{"./internal/memctrl", "^BenchmarkControllerTick$"},
+	{"./internal/sim", "^BenchmarkSystemRun$"},
 }
 
 type entry struct {
