@@ -89,6 +89,7 @@ func main() {
 
 		refreshMode = flag.String("refresh", "off", "DRAM refresh mode: off|per-bank|all-bank")
 		pagePolicy  = flag.String("page", "open", "row-buffer management: open|closed|adaptive")
+		topoSpec    = flag.String("topology", "", "memory topology: a preset name ("+strings.Join(padc.TopologyNames(), "|")+"), a JSON topology file, or inline JSON")
 		kernel      = flag.String("kernel", "events", "simulation kernel: events (cycle-skipping, default) or stepped (cycle-by-cycle reference)")
 		dumpConfig  = flag.Bool("dump-config", false, "print the resolved machine configuration as JSON and exit")
 
@@ -126,7 +127,7 @@ func main() {
 			fmt.Printf("  %s\n", id)
 		}
 	case *dumpConfig:
-		cfg, names, err := buildConfig(*bench, *policy, *pf, *refreshMode, *pagePolicy, *kernel, *insts, *cores)
+		cfg, names, err := buildConfig(*bench, *policy, *pf, *refreshMode, *pagePolicy, *topoSpec, *kernel, *insts, *cores)
 		if err != nil {
 			fatal(err)
 		}
@@ -156,7 +157,7 @@ func main() {
 		}
 		fmt.Print(out)
 	case *bench != "":
-		cfg, names, err := buildConfig(*bench, *policy, *pf, *refreshMode, *pagePolicy, *kernel, *insts, *cores)
+		cfg, names, err := buildConfig(*bench, *policy, *pf, *refreshMode, *pagePolicy, *topoSpec, *kernel, *insts, *cores)
 		if err != nil {
 			fatal(err)
 		}
@@ -325,7 +326,7 @@ func runSweepRemote(server, path string, jobs int, verify bool, csvOut, jsonOut 
 // buildConfig assembles the machine the simulation flags describe and
 // returns it with the benchmark list. With no -bench and no -cores it
 // provisions a single core, which is enough for -dump-config.
-func buildConfig(bench, policy, pf, refreshMode, page, kernel string, insts uint64, cores int) (padc.SystemConfig, []string, error) {
+func buildConfig(bench, policy, pf, refreshMode, page, topo, kernel string, insts uint64, cores int) (padc.SystemConfig, []string, error) {
 	var names []string
 	if bench != "" {
 		names = strings.Split(bench, ",")
@@ -349,8 +350,32 @@ func buildConfig(bench, policy, pf, refreshMode, page, kernel string, insts uint
 	}
 	cfg.RefreshMode = refreshMode
 	cfg.PagePolicy = page
+	topo, err := resolveTopologyFlag(topo)
+	if err != nil {
+		return cfg, nil, err
+	}
+	cfg.Topology = topo
 	cfg.Kernel = kernel
 	return cfg, names, nil
+}
+
+// resolveTopologyFlag interprets -topology: inline JSON (starts with "{")
+// and preset names pass through to the config; anything naming a readable
+// file — or ending in .json — is read and its contents used as the inline
+// spec.
+func resolveTopologyFlag(s string) (string, error) {
+	t := strings.TrimSpace(s)
+	if t == "" || strings.HasPrefix(t, "{") {
+		return t, nil
+	}
+	if _, err := os.Stat(t); err == nil || strings.HasSuffix(t, ".json") {
+		data, err := os.ReadFile(t)
+		if err != nil {
+			return "", fmt.Errorf("reading -topology file: %w", err)
+		}
+		return string(data), nil
+	}
+	return t, nil
 }
 
 // writeResolvedConfig prints the -dump-config JSON: the fully-resolved
@@ -426,6 +451,10 @@ func report(res padc.Result, verbose bool) {
 		fmt.Printf("refreshes: issued=%d postponed=%d pulled-in=%d forced=%d blocked-cycles=%d\n",
 			res.RefreshesIssued, res.RefreshesPostponed, res.RefreshesPulledIn,
 			res.RefreshesForced, res.RefreshBlockedCycles)
+	}
+	for _, d := range res.Domains {
+		fmt.Printf("domain %-8s ch=%d link=%d serviced=%d row-hit=%.1f%% bus-busy=%d pref-acc=%.1f%%\n",
+			d.Name, d.Channels, d.LinkCycles, d.Serviced, d.RowHitRate*100, d.BusBusyCycles, d.PrefAccuracy*100)
 	}
 	for _, c := range res.Cores {
 		fmt.Printf("  %-12s IPC=%.3f MPKI=%.2f SPL=%.1f", c.Benchmark, c.IPC, c.MPKI, c.SPL)

@@ -4,6 +4,8 @@ import (
 	"bytes"
 	"encoding/json"
 	"io"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 
@@ -67,7 +69,7 @@ func TestApplyPrefetcherKnownValues(t *testing.T) {
 }
 
 func TestBuildConfigAppliesRefreshAndPage(t *testing.T) {
-	cfg, names, err := buildConfig("swim,art", "padc", "stream", "per-bank", "adaptive", "events", 5000, 0)
+	cfg, names, err := buildConfig("swim,art", "padc", "stream", "per-bank", "adaptive", "far-tier", "events", 5000, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -83,16 +85,59 @@ func TestBuildConfigAppliesRefreshAndPage(t *testing.T) {
 	if cfg.TargetInsts != 5000 {
 		t.Fatalf("insts = %d", cfg.TargetInsts)
 	}
+	if cfg.Topology != "far-tier" {
+		t.Fatalf("topology = %q, want far-tier", cfg.Topology)
+	}
 
 	// No benchmarks and no -cores still yields a describable machine.
-	cfg, names, err = buildConfig("", "padc", "stream", "off", "open", "", 0, 0)
+	cfg, names, err = buildConfig("", "padc", "stream", "off", "open", "", "", 0, 0)
 	if err != nil || len(names) != 0 || cfg.Cores != 1 {
 		t.Fatalf("flagless config: cores=%d names=%v err=%v", cfg.Cores, names, err)
 	}
 }
 
+func TestResolveTopologyFlag(t *testing.T) {
+	// Preset names and inline JSON pass straight through.
+	for _, in := range []string{"", "flat", "far-tier", `{"name":"x"}`} {
+		got, err := resolveTopologyFlag(in)
+		if err != nil || got != strings.TrimSpace(in) {
+			t.Errorf("resolveTopologyFlag(%q) = %q, %v", in, got, err)
+		}
+	}
+
+	// A path to a JSON file is read and its contents become the spec.
+	spec := `{"name":"duo","interleave":"channel","domains":[{"name":"a","channels":1},{"name":"b","channels":1,"link_cycles":99}]}`
+	path := filepath.Join(t.TempDir(), "topo.json")
+	if err := os.WriteFile(path, []byte(spec), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, err := resolveTopologyFlag(path)
+	if err != nil || got != spec {
+		t.Fatalf("file topology not read: %q, %v", got, err)
+	}
+
+	// A .json path that doesn't exist is an error, not a preset name.
+	if _, err := resolveTopologyFlag(filepath.Join(t.TempDir(), "missing.json")); err == nil {
+		t.Error("missing .json file accepted")
+	}
+
+	// The file contents must actually build a machine end to end.
+	cfg, _, err := buildConfig("swim", "padc", "stream", "off", "open", path, "events", 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rc, err := cfg.Describe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rc.Topology.Name != "duo" || len(rc.Topology.Domains) != 2 ||
+		rc.Topology.Domains[1].LinkCycles != 99 {
+		t.Fatalf("resolved topology = %+v", rc.Topology)
+	}
+}
+
 func TestWriteResolvedConfigJSON(t *testing.T) {
-	cfg, names, err := buildConfig("swim", "padc", "stream", "all-bank", "closed", "stepped", 0, 0)
+	cfg, names, err := buildConfig("swim", "padc", "stream", "all-bank", "closed", "", "stepped", 0, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -127,7 +172,7 @@ func TestWriteResolvedConfigJSON(t *testing.T) {
 
 func TestWriteResolvedConfigRejectsBadModes(t *testing.T) {
 	for _, tc := range [][2]string{{"hourly", "open"}, {"off", "ajar"}} {
-		cfg, names, err := buildConfig("swim", "padc", "stream", tc[0], tc[1], "events", 0, 0)
+		cfg, names, err := buildConfig("swim", "padc", "stream", tc[0], tc[1], "", "events", 0, 0)
 		if err != nil {
 			t.Fatal(err) // buildConfig defers vocabulary checks to Describe/Run
 		}

@@ -51,6 +51,9 @@ var experimentRegistry = map[string]func(sc exp.Scale) []*exp.Table{
 	"abl-map":     func(sc exp.Scale) []*exp.Table { return []*exp.Table{exp.AblationAddressMapping(sc)} },
 	"abl-rules":   func(sc exp.Scale) []*exp.Table { return []*exp.Table{exp.AblationRuleOrder(sc)} },
 	"abl-refresh": func(sc exp.Scale) []*exp.Table { return []*exp.Table{exp.AblationRefresh(sc)} },
+	"abl-topology": func(sc exp.Scale) []*exp.Table {
+		return []*exp.Table{exp.AblationTopology(sc)}
+	},
 }
 
 // ExperimentIDs lists every reproducible figure/table id.

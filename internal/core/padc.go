@@ -4,7 +4,10 @@
 // criticality/urgency predicates Adaptive Prefetch Scheduling needs
 // (§4.2), selects the dynamic drop threshold Adaptive Prefetch Dropping
 // uses (§4.3, Table 6), and models the hardware storage cost (§4.4,
-// Tables 1–2).
+// Tables 1–2). On a multi-tier topology the accuracy meters are kept per
+// (memory domain, core): a core's prefetches into a far pooled tier are
+// judged against that tier's own stream, so APS promotion and APD drop
+// thresholds act on tier-local estimates.
 package core
 
 import (
@@ -72,8 +75,8 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
-// coreMeter is one core's accuracy state: the PSC/PUC counters of the
-// current interval and the PAR computed from the previous one.
+// coreMeter is one (domain, core) accuracy state: the PSC/PUC counters of
+// the current interval and the PAR computed from the previous one.
 type coreMeter struct {
 	psc uint64 // Prefetch Sent Counter
 	puc uint64 // Prefetch Used Counter
@@ -84,20 +87,37 @@ type coreMeter struct {
 }
 
 // PADC is the adaptive controller state shared by APS and APD across all
-// memory controllers in the system.
+// memory controllers in the system. meters is indexed [domain][core]; a
+// flat machine has exactly one domain and behaves like the paper's
+// single-tier controller.
 type PADC struct {
-	cfg    Config
-	meters []coreMeter
+	cfg     Config
+	domains []string // domain names; len 1 on a flat machine
+	meters  [][]coreMeter
 
 	tel   *telemetry.Telemetry // nil unless Instrument was called
 	clock func() uint64        // current cycle, for event timestamps
 }
 
-// New builds PADC state for ncores cores.
-func New(ncores int, cfg Config) *PADC {
-	p := &PADC{cfg: cfg.withDefaults(), meters: make([]coreMeter, ncores)}
-	for i := range p.meters {
-		p.meters[i].par = 1 // optimistic until the first interval elapses
+// New builds single-domain (flat) PADC state for ncores cores.
+func New(ncores int, cfg Config) *PADC { return NewTiered(nil, ncores, cfg) }
+
+// NewTiered builds PADC state with one accuracy meter per (domain, core).
+// A nil or empty domains slice means one unnamed flat domain.
+func NewTiered(domains []string, ncores int, cfg Config) *PADC {
+	if len(domains) == 0 {
+		domains = []string{""}
+	}
+	p := &PADC{
+		cfg:     cfg.withDefaults(),
+		domains: append([]string(nil), domains...),
+		meters:  make([][]coreMeter, len(domains)),
+	}
+	for d := range p.meters {
+		p.meters[d] = make([]coreMeter, ncores)
+		for i := range p.meters[d] {
+			p.meters[d][i].par = 1 // optimistic until the first interval elapses
+		}
 	}
 	return p
 }
@@ -105,87 +125,122 @@ func New(ncores int, cfg Config) *PADC {
 // Config returns the effective configuration after defaulting.
 func (p *PADC) Config() Config { return p.cfg }
 
-// Instrument registers each core's accuracy estimate as a
-// "core<i>/acc_estimate" gauge and arms promotion-flip events: whenever an
-// interval rollover moves a core's PAR across the APS promotion threshold,
-// an EvPromotion event is emitted at clock()'s cycle. A nil tel is a
-// no-op.
+// Domains returns the number of memory domains metered.
+func (p *PADC) Domains() int { return len(p.meters) }
+
+// Instrument registers each (domain, core) accuracy estimate as a gauge —
+// "core<i>/acc_estimate" on a flat machine, "<domain>/core<i>/acc_estimate"
+// per tier otherwise — and arms promotion-flip events: whenever an
+// interval rollover moves a meter's PAR across the APS promotion
+// threshold, an EvPromotion event is emitted at clock()'s cycle. A nil
+// tel is a no-op.
 func (p *PADC) Instrument(tel *telemetry.Telemetry, clock func() uint64) {
 	if tel == nil {
 		return
 	}
 	p.tel, p.clock = tel, clock
-	for i := range p.meters {
-		m := &p.meters[i]
-		tel.GaugeFunc(fmt.Sprintf("core%d/acc_estimate", i), func() float64 { return m.par })
+	for d := range p.meters {
+		pre := ""
+		if len(p.meters) > 1 {
+			pre = p.domains[d] + "/"
+		}
+		for i := range p.meters[d] {
+			m := &p.meters[d][i]
+			tel.GaugeFunc(fmt.Sprintf("%score%d/acc_estimate", pre, i), func() float64 { return m.par })
+		}
 	}
 }
 
-// NotePrefetchSent increments the core's PSC (a prefetch entered the
-// memory request buffer).
-func (p *PADC) NotePrefetchSent(core int) {
-	p.meters[core].psc++
-	p.meters[core].everSent = true
+// NoteSent increments the (domain, core) PSC: a prefetch targeting that
+// domain entered the memory request buffer.
+func (p *PADC) NoteSent(domain, core int) {
+	m := &p.meters[domain][core]
+	m.psc++
+	m.everSent = true
 }
 
-// NotePrefetchUsed increments the core's PUC (a prefetched line was hit by
-// a demand, or a demand matched an in-buffer prefetch).
-func (p *PADC) NotePrefetchUsed(core int) { p.meters[core].puc++ }
+// NoteUsed increments the (domain, core) PUC: a prefetched line from that
+// domain was hit by a demand, or a demand matched an in-buffer prefetch.
+func (p *PADC) NoteUsed(domain, core int) { p.meters[domain][core].puc++ }
 
-// EndInterval recomputes each core's PAR from the interval's counters and
-// resets them (§4.1). Cores that sent nothing keep their previous PAR.
+// NotePrefetchSent is the flat-machine spelling of NoteSent (domain 0).
+func (p *PADC) NotePrefetchSent(core int) { p.NoteSent(0, core) }
+
+// NotePrefetchUsed is the flat-machine spelling of NoteUsed (domain 0).
+func (p *PADC) NotePrefetchUsed(core int) { p.NoteUsed(0, core) }
+
+// EndInterval recomputes every meter's PAR from the interval's counters
+// and resets them (§4.1). Meters that sent nothing keep their previous
+// PAR. Promotion-flip events carry the domain index in Chan on tiered
+// machines and the historical -1 on flat ones.
 func (p *PADC) EndInterval() {
-	for i := range p.meters {
-		m := &p.meters[i]
-		wasCritical := m.par >= p.cfg.PromotionThreshold
-		if m.psc > 0 {
-			m.par = float64(m.puc) / float64(m.psc)
-			// PUC can briefly exceed PSC across interval boundaries (a
-			// prefetch sent late in one interval is used in the next);
-			// clamp like the paper's saturating PAR register would.
-			if m.par > 1 {
-				m.par = 1
-			}
-		}
-		m.psc, m.puc = 0, 0
-		if p.tel != nil {
-			if nowCritical := m.par >= p.cfg.PromotionThreshold; nowCritical != wasCritical {
-				promoted := uint64(0)
-				if nowCritical {
-					promoted = 1
+	tiered := len(p.meters) > 1
+	for d := range p.meters {
+		for i := range p.meters[d] {
+			m := &p.meters[d][i]
+			wasCritical := m.par >= p.cfg.PromotionThreshold
+			if m.psc > 0 {
+				m.par = float64(m.puc) / float64(m.psc)
+				// PUC can briefly exceed PSC across interval boundaries (a
+				// prefetch sent late in one interval is used in the next);
+				// clamp like the paper's saturating PAR register would.
+				if m.par > 1 {
+					m.par = 1
 				}
-				p.tel.Emit(telemetry.Event{
-					Cycle: p.clock(), Kind: telemetry.EvPromotion,
-					Core: int16(i), Chan: -1, Bank: int16(promoted),
-					A: uint64(m.par * 1e6), // new PAR in ppm
-				})
+			}
+			m.psc, m.puc = 0, 0
+			if p.tel != nil {
+				if nowCritical := m.par >= p.cfg.PromotionThreshold; nowCritical != wasCritical {
+					promoted := uint64(0)
+					if nowCritical {
+						promoted = 1
+					}
+					ch := int16(-1)
+					if tiered {
+						ch = int16(d)
+					}
+					p.tel.Emit(telemetry.Event{
+						Cycle: p.clock(), Kind: telemetry.EvPromotion,
+						Core: int16(i), Chan: ch, Bank: int16(promoted),
+						A: uint64(m.par * 1e6), // new PAR in ppm
+					})
+				}
 			}
 		}
 	}
 }
 
-// Accuracy returns the core's PAR from the last completed interval.
-func (p *PADC) Accuracy(core int) float64 { return p.meters[core].par }
+// AccuracyIn returns the (domain, core) PAR from the last completed
+// interval.
+func (p *PADC) AccuracyIn(domain, core int) float64 { return p.meters[domain][core].par }
 
-// PrefetchCritical implements memctrl.CoreState: a core's prefetches are
-// critical when its measured accuracy meets the promotion threshold.
-func (p *PADC) PrefetchCritical(core int) bool {
+// Accuracy returns the core's domain-0 PAR (the flat-machine estimate).
+func (p *PADC) Accuracy(core int) float64 { return p.AccuracyIn(0, core) }
+
+// PrefetchCriticalIn reports whether the core's prefetches into the
+// domain are critical: measured tier-local accuracy meets the promotion
+// threshold.
+func (p *PADC) PrefetchCriticalIn(domain, core int) bool {
 	if !p.cfg.EnableAPS {
 		return false
 	}
-	return p.meters[core].par >= p.cfg.PromotionThreshold
+	return p.meters[domain][core].par >= p.cfg.PromotionThreshold
 }
+
+// PrefetchCritical implements memctrl.CoreState against domain 0.
+func (p *PADC) PrefetchCritical(core int) bool { return p.PrefetchCriticalIn(0, core) }
 
 // UrgencyEnabled implements memctrl.CoreState.
 func (p *PADC) UrgencyEnabled() bool { return p.cfg.EnableUrgency }
 
-// DropThreshold returns the APD age limit for the core's prefetches under
-// its current measured accuracy. It returns ^uint64(0) when APD is off.
-func (p *PADC) DropThreshold(core int) uint64 {
+// DropThresholdIn returns the APD age limit for the core's prefetches in
+// the domain under its tier-local measured accuracy. It returns
+// ^uint64(0) when APD is off.
+func (p *PADC) DropThresholdIn(domain, core int) uint64 {
 	if !p.cfg.EnableAPD {
 		return ^uint64(0)
 	}
-	par := p.meters[core].par
+	par := p.meters[domain][core].par
 	for _, l := range p.cfg.DropLadder {
 		if par < l.AccuracyBelow {
 			return l.Cycles
@@ -194,17 +249,42 @@ func (p *PADC) DropThreshold(core int) uint64 {
 	return p.cfg.DropLadder[len(p.cfg.DropLadder)-1].Cycles
 }
 
+// DropThreshold returns the domain-0 APD age limit (flat machines).
+func (p *PADC) DropThreshold(core int) uint64 { return p.DropThresholdIn(0, core) }
+
+// TierView is one domain's slice of the PADC: it satisfies
+// memctrl.CoreState so each controller consults its own tier's accuracy
+// estimates for APS criticality.
+type TierView struct {
+	p *PADC
+	d int
+}
+
+// DomainView returns the CoreState view bound to domain d.
+func (p *PADC) DomainView(d int) *TierView { return &TierView{p: p, d: d} }
+
+// PrefetchCritical implements memctrl.CoreState for the bound domain.
+func (v *TierView) PrefetchCritical(core int) bool { return v.p.PrefetchCriticalIn(v.d, core) }
+
+// UrgencyEnabled implements memctrl.CoreState.
+func (v *TierView) UrgencyEnabled() bool { return v.p.UrgencyEnabled() }
+
 // IntervalCycles returns the accuracy sampling interval.
 func (p *PADC) IntervalCycles() uint64 { return p.cfg.IntervalCycles }
 
 // String summarizes current per-core accuracy, for debugging output.
 func (p *PADC) String() string {
 	s := "PADC["
-	for i := range p.meters {
-		if i > 0 {
-			s += " "
+	for d := range p.meters {
+		for i := range p.meters[d] {
+			if d > 0 || i > 0 {
+				s += " "
+			}
+			if len(p.meters) > 1 {
+				s += fmt.Sprintf("%s/", p.domains[d])
+			}
+			s += fmt.Sprintf("c%d:%.0f%%", i, p.meters[d][i].par*100)
 		}
-		s += fmt.Sprintf("c%d:%.0f%%", i, p.meters[i].par*100)
 	}
 	return s + "]"
 }

@@ -9,6 +9,7 @@ import (
 	"padc/internal/memctrl"
 	"padc/internal/sim"
 	"padc/internal/stats"
+	"padc/internal/topology"
 )
 
 // AblationDropThreshold compares APD's dynamic 4-level drop-threshold
@@ -193,6 +194,95 @@ func AblationRefresh(sc Scale) *Table {
 				fmt.Sprintf("%d", a.rf.PulledIn/n),
 				fmt.Sprintf("%d", a.rf.Forced/n),
 				fmt.Sprintf("%.1f", float64(a.rf.BlockedCycles)/float64(n)/1000))
+		}
+	}
+	return t
+}
+
+// AblationTopology compares the flat single-domain layout against the
+// far-tier preset (a one-channel pooled tier behind a long link) under
+// each scheduling policy. The far tier stretches every request it absorbs
+// by the link latency without consuming extra bank or bus time, so the
+// interesting question is whether PADC's tier-local accuracy estimates
+// keep prefetching profitable on the slow tier or APD learns to shed it.
+// WS is averaged over the mixes; the far-tier columns report the slow
+// tier's share of serviced requests and its measured prefetch accuracy
+// ("-" on the flat rows, which have no domain breakdown).
+func AblationTopology(sc Scale) *Table {
+	variants := []Variant{
+		DemandFirst(),
+		APSOnly(),
+		PADC(),
+	}
+	topos := []string{"flat", "far-tier"}
+	mixes := Mixes(4, sc.Mixes4)
+
+	type acc struct {
+		ws, bus                        float64
+		serviced, farServiced, farSent float64
+		farUsed                        float64
+	}
+	grid := make([][]acc, len(variants))
+	for vi := range grid {
+		grid[vi] = make([]acc, len(topos))
+	}
+	type job struct{ vi, ti int }
+	var jobs []job
+	for vi := range variants {
+		for ti := range topos {
+			jobs = append(jobs, job{vi, ti})
+		}
+	}
+	parallel(len(jobs), func(i int) {
+		j := jobs[i]
+		var mutate func(*sim.Config)
+		if topos[j.ti] != "flat" {
+			name := topos[j.ti]
+			mutate = func(c *sim.Config) {
+				t, err := topology.Preset(name, c.DRAM.Channels)
+				if err != nil {
+					panic(err) // preset names above are static
+				}
+				c.Topology = &t
+			}
+		}
+		alone := NewAloneIPC() // per job: the alone baseline must see the same wiring
+		a := acc{}
+		for _, mix := range mixes {
+			r := RunMix(mix, 4, sc, variants[j.vi], alone, mutate)
+			a.ws += r.WS
+			a.bus += float64(r.Bus.Total())
+			a.serviced += float64(r.Res.Serviced)
+			for _, d := range r.Res.Domains {
+				if d.LinkCycles > 0 {
+					a.farServiced += float64(d.Serviced)
+					a.farSent += float64(d.PrefSent)
+					a.farUsed += float64(d.PrefUsed)
+				}
+			}
+		}
+		grid[j.vi][j.ti] = a
+	})
+
+	t := &Table{
+		Title:  "Ablation: memory topology, flat vs far-tier (4-core)",
+		Header: []string{"policy", "topology", "WS", "bus(K)", "far-share", "far-acc"},
+	}
+	n := float64(len(mixes))
+	for vi, v := range variants {
+		for ti, topo := range topos {
+			a := grid[vi][ti]
+			farShare, farAcc := "-", "-"
+			if a.farServiced > 0 && a.serviced > 0 {
+				farShare = fmt.Sprintf("%.1f%%", a.farServiced/a.serviced*100)
+			}
+			if a.farSent > 0 {
+				farAcc = fmt.Sprintf("%.1f%%", a.farUsed/a.farSent*100)
+			}
+			t.Add(v.Name, topo,
+				fmt.Sprintf("%.3f", a.ws/n),
+				fmt.Sprintf("%.1f", a.bus/n/1000),
+				farShare, farAcc)
 		}
 	}
 	return t

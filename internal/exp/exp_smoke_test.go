@@ -68,6 +68,33 @@ func TestTelemetryTable(t *testing.T) {
 	t.Logf("\n%s", tab)
 }
 
+func TestAblationTopologyShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation sweep")
+	}
+	tab := AblationTopology(Scale{Insts: 60_000, Mixes4: 1})
+	t.Logf("\n%s", tab)
+	if len(tab.Rows) != 6 { // 3 variants x 2 topologies
+		t.Fatalf("want 6 rows, got %d", len(tab.Rows))
+	}
+	for _, row := range tab.Rows {
+		farShare := row[4]
+		switch row[1] {
+		case "flat":
+			if farShare != "-" {
+				t.Errorf("flat row has a far-tier share: %v", row)
+			}
+		case "far-tier":
+			// Steering must have routed real traffic to the slow tier.
+			if farShare == "-" || farShare == "0.0%" {
+				t.Errorf("far-tier row shows no far traffic: %v", row)
+			}
+		default:
+			t.Errorf("unexpected topology label %q", row[1])
+		}
+	}
+}
+
 func TestAblationRefreshShape(t *testing.T) {
 	if testing.Short() {
 		t.Skip("simulation sweep")

@@ -186,6 +186,14 @@ type Controller struct {
 	flight   *flight.Recorder
 	flightCh int
 
+	// linkCycles is the topology-supplied round-trip wire delay to this
+	// controller's memory domain, added to every request's completion time
+	// after DRAM service. It occupies neither the bank nor the data bus —
+	// the request is on the link, not in the DRAM — so scheduling state is
+	// untouched; zero (the flat topology) leaves completion times exactly
+	// as the channel computed them.
+	linkCycles uint64
+
 	// Stats.
 	Enqueued    uint64
 	RejectsFull uint64
@@ -226,6 +234,14 @@ func NewStack(stack sched.Stack, channel *dram.Channel, capacity int, state Core
 	}
 	return c
 }
+
+// SetLinkLatency sets the extra round-trip cycles between this controller
+// and its cores (a far pooled-memory tier behind a link). Call once after
+// construction, before the first Tick.
+func (c *Controller) SetLinkLatency(cycles uint64) { c.linkCycles = cycles }
+
+// LinkLatency returns the configured link delay.
+func (c *Controller) LinkLatency() uint64 { return c.linkCycles }
 
 // Instrument registers this controller's (and its channel's) metrics into
 // tel under "memctrl<id>/..." and "dram<id>/..." names and enables event
@@ -792,6 +808,7 @@ func (c *Controller) issue(b, idx int, now uint64) {
 	}
 
 	finish, state := c.channel.Issue(b, r.Addr.Row, now, keepOpen)
+	finish += c.linkCycles
 	r.Inflight = true
 	r.FinishAt = finish
 	r.RowState = state

@@ -168,8 +168,9 @@ type JobResult struct {
 	Prefetcher string   `json:"prefetcher"`
 	Promotion  float64  `json:"promotion,omitempty"`
 	Drop       uint64   `json:"drop,omitempty"`
-	Refresh    string   `json:"refresh,omitempty"` // "" = off
-	Page       string   `json:"page,omitempty"`    // "" = open
+	Refresh    string   `json:"refresh,omitempty"`  // "" = off
+	Page       string   `json:"page,omitempty"`     // "" = open
+	Topology   string   `json:"topology,omitempty"` // "" = flat
 	Mix        string   `json:"mix"`
 	Workloads  []string `json:"workloads"`
 
@@ -423,7 +424,7 @@ func runJob(j Job, verify bool, fo FlightOptions) (out JobResult) {
 		Index: j.Index, Key: j.Key, Seed: j.Seed,
 		Policy: j.Policy, Prefetcher: j.Prefetcher,
 		Promotion: j.Promotion, Drop: j.Drop,
-		Refresh: j.Refresh, Page: j.Page,
+		Refresh: j.Refresh, Page: j.Page, Topology: j.Topology,
 		Mix: j.Mix, Workloads: j.Workloads,
 	}
 	start := time.Now()
@@ -498,6 +499,18 @@ func (r *JobResult) fill(res stats.Results) {
 		tel[pre+"spl"] = c.SPL()
 		tel[pre+"acc"] = c.ACC()
 		tel[pre+"cov"] = c.COV()
+	}
+	// Per-domain counters appear only on multi-tier topologies, so flat
+	// artifacts stay byte-identical to their pre-topology form.
+	for _, d := range res.Domains {
+		pre := "dom/" + d.Name + "/"
+		tel[pre+"serviced"] = float64(d.Serviced)
+		tel[pre+"row_hit_rate"] = d.RBH()
+		tel[pre+"bus_busy_cycles"] = float64(d.BusBusyCycles)
+		tel[pre+"refresh_blocked"] = float64(d.RefreshBlocked)
+		tel[pre+"pref_sent"] = float64(d.PrefSent)
+		tel[pre+"pref_used"] = float64(d.PrefUsed)
+		tel[pre+"acc"] = d.ACC()
 	}
 	r.Telemetry = tel
 }

@@ -26,6 +26,7 @@ import (
 	"padc/internal/memctrl"
 	"padc/internal/memctrl/sched"
 	"padc/internal/sim"
+	"padc/internal/topology"
 	"padc/internal/workload"
 )
 
@@ -72,6 +73,12 @@ type Spec struct {
 	// PagePolicies optionally sweeps row-buffer management: "open" (or ""),
 	// "closed", "adaptive". Default: open.
 	PagePolicies []string `json:"page_policies,omitempty"`
+
+	// Topologies optionally sweeps the memory wiring by preset name:
+	// "flat" (or "") keeps the single-domain layout, "far-tier" adds a
+	// one-channel pooled tier behind a long link (see internal/topology).
+	// Default: flat, matching the historical simulator behavior.
+	Topologies []string `json:"topologies,omitempty"`
 
 	// Workloads lists explicit benchmark mixes (each inner list is one mix,
 	// one benchmark per core). Mixes additionally draws that many random
@@ -130,6 +137,7 @@ func (s Spec) withDefaults() Spec {
 	// mention them.
 	s.Refresh = normalizeAxis(s.Refresh, "off")
 	s.PagePolicies = normalizeAxis(s.PagePolicies, "open")
+	s.Topologies = normalizeAxis(s.Topologies, "flat")
 	return s
 }
 
@@ -185,6 +193,13 @@ func (s Spec) Validate() error {
 			return fmt.Errorf("runner: %v", err)
 		}
 	}
+	for _, t := range d.Topologies {
+		// The channel count only scales the preset; any power of two
+		// exercises the name lookup, which is what validation is about.
+		if _, err := topology.Preset(t, 4); err != nil {
+			return fmt.Errorf("runner: %v", err)
+		}
+	}
 	if _, err := sim.ParseKernel(d.Kernel); err != nil {
 		return fmt.Errorf("runner: %v", err)
 	}
@@ -203,7 +218,7 @@ func (s Spec) Validate() error {
 		return fmt.Errorf("runner: spec yields no workload mixes (set workloads or mixes)")
 	}
 	n := len(d.Policies) * len(d.Prefetchers) * len(d.PromotionThresholds) * len(d.DropCycles) *
-		len(d.Refresh) * len(d.PagePolicies) * nmixes
+		len(d.Refresh) * len(d.PagePolicies) * len(d.Topologies) * nmixes
 	if n > MaxJobs {
 		return fmt.Errorf("runner: sweep expands to %d jobs, limit %d", n, MaxJobs)
 	}
@@ -223,6 +238,7 @@ type Job struct {
 	Drop       uint64  // 0 = Table 6 ladder
 	Refresh    string  // "" = off
 	Page       string  // "" = open
+	Topology   string  // "" = flat
 	Mix        string  // mix label ("swim+art" or "rnd03")
 	Workloads  []string
 
@@ -281,37 +297,49 @@ func (s Spec) Expand() ([]Job, error) {
 						rfMode, _ := refresh.ParseMode(rf)
 						for _, page := range d.PagePolicies {
 							pagePol, _ := dram.ParsePagePolicy(page)
-							for _, mx := range mixes {
-								cfg := sim.Baseline(d.Cores)
-								cfg.TargetInsts = d.Insts
-								cfg.PADC = core.DefaultConfig()
-								cfg.Prefetcher = pfKind
-								mutate(&cfg)
-								if promo > 0 {
-									cfg.PADC.PromotionThreshold = promo
+							for _, topo := range d.Topologies {
+								for _, mx := range mixes {
+									cfg := sim.Baseline(d.Cores)
+									cfg.TargetInsts = d.Insts
+									cfg.PADC = core.DefaultConfig()
+									cfg.Prefetcher = pfKind
+									mutate(&cfg)
+									if promo > 0 {
+										cfg.PADC.PromotionThreshold = promo
+									}
+									if drop > 0 {
+										cfg.PADC.DropLadder = []core.DropLevel{{AccuracyBelow: 1.01, Cycles: drop}}
+									}
+									cfg.DRAM.Refresh.Mode = rfMode
+									cfg.DRAM.Page = pagePol
+									if topo != "" {
+										// Resolved against the baseline channel
+										// count so the near tier matches flat.
+										t, err := topology.Preset(topo, cfg.DRAM.Channels)
+										if err != nil {
+											return nil, err
+										}
+										cfg.Topology = &t
+									}
+									cfg.Kernel = kernel
+									cfg.Workload = append([]workload.Profile(nil), mx.profs...)
+									idx := len(jobs)
+									jobs = append(jobs, Job{
+										Index:      idx,
+										Key:        jobKey(pol, pf, promo, drop, rf, page, topo, mx.label),
+										Seed:       splitmix(d.Seed, uint64(idx)|1<<32),
+										Policy:     pol,
+										Prefetcher: pf,
+										Promotion:  promo,
+										Drop:       drop,
+										Refresh:    rf,
+										Page:       page,
+										Topology:   topo,
+										Mix:        mx.label,
+										Workloads:  namesOf(mx.profs),
+										Config:     cfg,
+									})
 								}
-								if drop > 0 {
-									cfg.PADC.DropLadder = []core.DropLevel{{AccuracyBelow: 1.01, Cycles: drop}}
-								}
-								cfg.DRAM.Refresh.Mode = rfMode
-								cfg.DRAM.Page = pagePol
-								cfg.Kernel = kernel
-								cfg.Workload = append([]workload.Profile(nil), mx.profs...)
-								idx := len(jobs)
-								jobs = append(jobs, Job{
-									Index:      idx,
-									Key:        jobKey(pol, pf, promo, drop, rf, page, mx.label),
-									Seed:       splitmix(d.Seed, uint64(idx)|1<<32),
-									Policy:     pol,
-									Prefetcher: pf,
-									Promotion:  promo,
-									Drop:       drop,
-									Refresh:    rf,
-									Page:       page,
-									Mix:        mx.label,
-									Workloads:  namesOf(mx.profs),
-									Config:     cfg,
-								})
 							}
 						}
 					}
@@ -333,7 +361,7 @@ func namesOf(profs []workload.Profile) []string {
 // jobKey renders the canonical grid coordinates the merge sorts on.
 // Default-valued axes are omitted, so keys (and sort order) from sweeps
 // predating an axis never change.
-func jobKey(pol, pf string, promo float64, drop uint64, rf, page, mix string) string {
+func jobKey(pol, pf string, promo float64, drop uint64, rf, page, topo, mix string) string {
 	parts := []string{"policy=" + pol, "pf=" + pf}
 	if promo > 0 {
 		parts = append(parts, fmt.Sprintf("promo=%.2f", promo))
@@ -346,6 +374,9 @@ func jobKey(pol, pf string, promo float64, drop uint64, rf, page, mix string) st
 	}
 	if page != "" {
 		parts = append(parts, "page="+page)
+	}
+	if topo != "" {
+		parts = append(parts, "topo="+topo)
 	}
 	parts = append(parts, "mix="+mix)
 	return strings.Join(parts, "/")

@@ -1,0 +1,138 @@
+package runner
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestTopologyAxis pins the topology sweep axis: expansion semantics,
+// config wiring, key formatting, and the golden-compatibility contract
+// that the explicit "flat" spelling is indistinguishable from omitting
+// the axis entirely.
+func TestTopologyAxis(t *testing.T) {
+	spec := Spec{
+		Cores:      2,
+		Workloads:  [][]string{{"swim"}},
+		Policies:   []string{"padc"},
+		Topologies: []string{"flat", "far-tier"},
+	}
+	jobs, err := spec.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(jobs) != 2 {
+		t.Fatalf("want 2 jobs, got %d", len(jobs))
+	}
+	sawFar := false
+	for _, j := range jobs {
+		switch j.Topology {
+		case "":
+			if j.Config.Topology != nil {
+				t.Errorf("%s: flat job carries a topology override", j.Key)
+			}
+			if strings.Contains(j.Key, "topo=") {
+				t.Errorf("default topology leaked into key %q", j.Key)
+			}
+		case "far-tier":
+			sawFar = true
+			tp := j.Config.Topology
+			if tp == nil {
+				t.Fatalf("%s: far-tier job has no topology", j.Key)
+			}
+			if len(tp.Domains) != 2 {
+				t.Errorf("%s: far-tier expanded to %d domains", j.Key, len(tp.Domains))
+			}
+			// The near tier must match the flat channel count so the axis
+			// compares wiring, not raw channel counts on the fast tier.
+			if tp.Domains[0].Channels != j.Config.DRAM.Channels {
+				t.Errorf("%s: near tier has %d channels, base has %d",
+					j.Key, tp.Domains[0].Channels, j.Config.DRAM.Channels)
+			}
+			if !strings.Contains(j.Key, "topo=far-tier") {
+				t.Errorf("topology axis missing from key %q", j.Key)
+			}
+		default:
+			t.Errorf("unexpected normalized topology value %q", j.Topology)
+		}
+	}
+	if !sawFar {
+		t.Fatal("no far-tier job expanded")
+	}
+
+	plain := Spec{Cores: 2, Workloads: [][]string{{"swim"}}, Policies: []string{"padc"}}
+	spelled := Spec{Cores: 2, Workloads: [][]string{{"swim"}}, Policies: []string{"padc"},
+		Topologies: []string{"flat"}}
+	a, _ := plain.Expand()
+	b, _ := spelled.Expand()
+	if a[0].Key != b[0].Key {
+		t.Fatalf("explicit flat changed the key: %q vs %q", a[0].Key, b[0].Key)
+	}
+
+	if _, err := ParseSpec([]byte(`{"mixes": 1, "topologies": ["moebius"]}`)); err == nil {
+		t.Error("spec with an unknown topology accepted")
+	}
+}
+
+// TestTopologyArtifactIdentity sweeps the topology axis under different
+// worker counts and requires byte-identical CSV and JSON artifacts, and
+// checks that far-tier rows carry the per-domain telemetry while flat
+// rows stay free of it (the byte-identity contract for old sweeps).
+func TestTopologyArtifactIdentity(t *testing.T) {
+	spec := Spec{
+		Cores:      2,
+		Insts:      6_000,
+		Workloads:  [][]string{{"swim", "art"}},
+		Policies:   []string{"demand-first", "padc"},
+		Topologies: []string{"flat", "far-tier"},
+	}
+	render := func(workers int) (*SweepResult, []byte, []byte) {
+		t.Helper()
+		res, err := Run(spec, Options{Workers: workers, Verify: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if n := res.Failed(); n > 0 {
+			for _, j := range res.Jobs {
+				if j.Err != "" {
+					t.Logf("%s: %s", j.Key, j.Err)
+				}
+			}
+			t.Fatalf("%d jobs failed", n)
+		}
+		var c, j bytes.Buffer
+		if err := res.WriteCSV(&c); err != nil {
+			t.Fatal(err)
+		}
+		if err := res.WriteJSON(&j); err != nil {
+			t.Fatal(err)
+		}
+		return res, c.Bytes(), j.Bytes()
+	}
+
+	res, csv1, json1 := render(1)
+	_, csv4, json4 := render(4)
+	if !bytes.Equal(csv1, csv4) {
+		t.Errorf("CSV artifacts differ across worker counts:\n%s", firstDiff(string(csv1), string(csv4)))
+	}
+	if !bytes.Equal(json1, json4) {
+		t.Errorf("JSON artifacts differ across worker counts:\n%s", firstDiff(string(json1), string(json4)))
+	}
+
+	for _, j := range res.Jobs {
+		_, hasDom := j.Telemetry["dom/far/serviced"]
+		switch j.Topology {
+		case "":
+			if hasDom {
+				t.Errorf("%s: flat row carries per-domain telemetry", j.Key)
+			}
+		case "far-tier":
+			if !hasDom {
+				t.Errorf("%s: far-tier row missing per-domain telemetry", j.Key)
+			}
+			if j.Telemetry["dom/far/serviced"] == 0 {
+				t.Errorf("%s: far tier serviced nothing", j.Key)
+			}
+		}
+	}
+}

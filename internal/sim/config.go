@@ -14,6 +14,7 @@ import (
 	"padc/internal/telemetry"
 	"padc/internal/telemetry/flight"
 	"padc/internal/telemetry/lifecycle"
+	"padc/internal/topology"
 	"padc/internal/workload"
 )
 
@@ -124,7 +125,15 @@ type Config struct {
 	SharedL2 bool
 	MSHR     int // entries per last-level cache
 
-	DRAM        dram.Config
+	DRAM dram.Config
+	// Topology, when non-nil, wires the machine as multiple memory domains
+	// (per-domain channel counts, link latencies, timing overrides; see
+	// internal/topology). DRAM then supplies the shared geometry — banks,
+	// row/line size, tick period, refresh — while each domain's channel
+	// count comes from the topology. Nil is the flat machine: one domain
+	// holding DRAM.Channels channels at link distance zero, byte-identical
+	// to the pre-topology simulator.
+	Topology    *topology.Topology
 	BufferSlots int // memory request buffer entries per controller
 	Policy      memctrl.Policy
 	// Rules, when non-empty, overrides Policy with an explicit scheduling
@@ -230,6 +239,11 @@ func (c Config) Validate() error {
 	if err := c.DRAM.Validate(); err != nil {
 		return err
 	}
+	if c.Topology != nil {
+		if err := c.Topology.Validate(); err != nil {
+			return err
+		}
+	}
 	if c.BufferSlots < 1 {
 		return fmt.Errorf("sim: request buffer needs at least one slot")
 	}
@@ -246,6 +260,15 @@ func (c Config) Validate() error {
 		return fmt.Errorf("sim: unknown kernel %d", int(c.Kernel))
 	}
 	return nil
+}
+
+// topo returns the effective topology: the configured one, or the flat
+// single-domain layout over DRAM.Channels.
+func (c Config) topo() topology.Topology {
+	if c.Topology != nil {
+		return *c.Topology
+	}
+	return topology.Flat(c.DRAM.Channels)
 }
 
 // maxCycles returns the safety bound for the run.

@@ -3,6 +3,7 @@ package sim
 import (
 	"testing"
 
+	"padc/internal/topology"
 	"padc/internal/trace"
 	"padc/internal/workload"
 )
@@ -37,17 +38,32 @@ func benchConfig(k Kernel) Config {
 func BenchmarkSystemRun(b *testing.B) {
 	for _, k := range []Kernel{KernelStepped, KernelEvents} {
 		k := k
-		b.Run(k.String(), func(b *testing.B) {
+		bench := func(b *testing.B, mk func(Kernel) Config) {
 			var cycles uint64
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
-				res, err := Run(benchConfig(k))
+				res, err := Run(mk(k))
 				if err != nil {
 					b.Fatal(err)
 				}
 				cycles += res.Cycles
 			}
 			b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(cycles), "ns/cycle")
+		}
+		b.Run(k.String(), func(b *testing.B) { bench(b, benchConfig) })
+		// The two-domain variant measures the topology layer's overhead:
+		// steering on every mapped line plus NextEvent aggregation across
+		// heterogeneous controllers with a long far-tier link.
+		b.Run(k.String()+"/far-tier", func(b *testing.B) {
+			bench(b, func(k Kernel) Config {
+				cfg := benchConfig(k)
+				tp, err := topology.Preset("far-tier", cfg.DRAM.Channels)
+				if err != nil {
+					b.Fatal(err)
+				}
+				cfg.Topology = &tp
+				return cfg
+			})
 		})
 	}
 }

@@ -7,6 +7,7 @@ import (
 	"padc/internal/dram"
 	"padc/internal/dram/refresh"
 	"padc/internal/memctrl"
+	"padc/internal/topology"
 	"padc/internal/workload"
 )
 
@@ -15,14 +16,14 @@ import (
 // adversarial arm of the lockstep suite: the randomized test samples the
 // axes uniformly, the fuzzer hunts the corners.
 func FuzzKernelDifferential(f *testing.F) {
-	f.Add(uint8(0), uint8(0), uint8(0), uint8(0), uint8(0), uint16(2_000), false, false)
-	f.Add(uint8(3), uint8(1), uint8(1), uint8(1), uint8(1), uint16(5_000), true, false)
-	f.Add(uint8(5), uint8(4), uint8(2), uint8(2), uint8(3), uint16(8_000), true, true)
-	f.Add(uint8(1), uint8(2), uint8(0), uint8(2), uint8(7), uint16(3_000), false, true)
+	f.Add(uint8(0), uint8(0), uint8(0), uint8(0), uint8(0), uint8(0), uint16(2_000), false, false)
+	f.Add(uint8(3), uint8(1), uint8(1), uint8(1), uint8(1), uint8(1), uint16(5_000), true, false)
+	f.Add(uint8(5), uint8(4), uint8(2), uint8(2), uint8(3), uint8(2), uint16(8_000), true, true)
+	f.Add(uint8(1), uint8(2), uint8(0), uint8(2), uint8(7), uint8(131), uint16(3_000), false, true)
 
 	pool := []string{"swim", "mcf", "art", "milc", "hmmer", "omnetpp", "libquantum", "sjeng"}
 
-	f.Fuzz(func(t *testing.T, polSel, pfSel, refSel, pageSel, wlSel uint8, insts uint16, apd, runahead bool) {
+	f.Fuzz(func(t *testing.T, polSel, pfSel, refSel, pageSel, wlSel, topoSel uint8, insts uint16, apd, runahead bool) {
 		cores := 1 + int(wlSel>>6)%2 // 1 or 2 cores
 		cfg := Baseline(cores)
 		cfg.TargetInsts = 1_000 + uint64(insts)%8_000
@@ -39,6 +40,30 @@ func FuzzKernelDifferential(f *testing.F) {
 			cfg.DRAM.Refresh.MaxPostpone = 3
 		}
 		cfg.DRAM.Page = []dram.PagePolicy{dram.OpenPage, dram.ClosedPage, dram.AdaptivePage}[int(pageSel)%3]
+		switch topoSel % 3 {
+		case 1:
+			tp, err := topology.Preset("far-tier", cfg.DRAM.Channels)
+			if err != nil {
+				t.Fatal(err)
+			}
+			cfg.Topology = &tp
+		case 2:
+			// Unequal links, with the high bit picking the interleave and
+			// the remaining bits skewing the far link latency.
+			il := topology.InterleaveChannel
+			if topoSel&0x80 != 0 {
+				il = topology.InterleaveDomain
+			}
+			tp := topology.Topology{
+				Name:       "fuzz-dual",
+				Interleave: il,
+				Domains: []topology.Domain{
+					{Name: "a", Channels: cfg.DRAM.Channels, LinkCycles: uint64(topoSel & 0x0f)},
+					{Name: "b", Channels: 1, LinkCycles: 32 + uint64(topoSel)*3},
+				},
+			}
+			cfg.Topology = &tp
+		}
 		for i := 0; i < cores; i++ {
 			cfg.Workload = append(cfg.Workload, workload.MustByName(pool[(int(wlSel)+i)%len(pool)]))
 		}

@@ -24,6 +24,7 @@ import (
 	"padc/internal/telemetry"
 	"padc/internal/telemetry/flight"
 	"padc/internal/telemetry/lifecycle"
+	"padc/internal/topology"
 	"padc/internal/workload"
 )
 
@@ -76,6 +77,29 @@ func randomKernelConfig(r *rand.Rand) Config {
 	cfg.DRAM.Page = []dram.PagePolicy{dram.OpenPage, dram.ClosedPage, dram.AdaptivePage}[r.Intn(3)]
 	cfg.DRAM.Channels = 1 + r.Intn(2)
 	cfg.DRAM.Permutation = r.Intn(2) == 0
+
+	// A third of the draws run on a multi-domain topology: the far-tier
+	// preset, or a hand-built two-domain layout with unequal link
+	// latencies under either interleave policy.
+	switch r.Intn(3) {
+	case 0:
+		tp, err := topology.Preset("far-tier", cfg.DRAM.Channels)
+		if err != nil {
+			panic(err)
+		}
+		cfg.Topology = &tp
+	case 1:
+		il := []string{topology.InterleaveChannel, topology.InterleaveDomain}[r.Intn(2)]
+		tp := topology.Topology{
+			Name:       "dual",
+			Interleave: il,
+			Domains: []topology.Domain{
+				{Name: "near", Channels: cfg.DRAM.Channels, LinkCycles: uint64(r.Intn(32))},
+				{Name: "far", Channels: 1 << r.Intn(2), LinkCycles: 64 + uint64(r.Intn(512))},
+			},
+		}
+		cfg.Topology = &tp
+	}
 
 	cfg.Core.Runahead = r.Intn(2) == 0
 	if r.Intn(3) == 0 {
@@ -145,9 +169,61 @@ func describeCfg(cfg Config) string {
 	for i, w := range cfg.Workload {
 		names[i] = w.Name
 	}
-	return fmt.Sprintf("%s/%v/refresh=%v/page=%v/apd=%v/ra=%v/ch=%d/%v",
+	topo := "flat"
+	if cfg.Topology != nil {
+		topo = cfg.Topology.Name
+	}
+	return fmt.Sprintf("%s/%v/refresh=%v/page=%v/apd=%v/ra=%v/ch=%d/topo=%s/%v",
 		pol, cfg.Prefetcher, cfg.DRAM.Refresh.Mode, cfg.DRAM.Page,
-		cfg.PADC.EnableAPD, cfg.Core.Runahead, cfg.DRAM.Channels, names)
+		cfg.PADC.EnableAPD, cfg.Core.Runahead, cfg.DRAM.Channels, topo, names)
+}
+
+// TestKernelDifferentialTwoDomain pins the lockstep property on the
+// topology corner the randomized draws only sample: a two-domain machine
+// with sharply unequal link latencies and a timing-override far tier,
+// where NextEvent aggregation spans heterogeneous controllers. Both
+// kernels must agree on the full Results including the per-domain
+// breakdown, and traffic must actually reach both tiers.
+func TestKernelDifferentialTwoDomain(t *testing.T) {
+	slow := dram.DDR3()
+	slow.CL += 17 // odd skew so far-tier events land off the near tier's grid
+	tp := topology.Topology{
+		Name:       "two-domain",
+		Interleave: topology.InterleaveChannel,
+		Domains: []topology.Domain{
+			{Name: "near", Channels: 2, LinkCycles: 3},
+			{Name: "far", Channels: 1, LinkCycles: 389, Timing: &slow},
+		},
+	}
+	cfg := quickCfg(2, "mcf", "art")
+	cfg.TargetInsts = 25_000
+	cfg.Policy = memctrl.APS
+	cfg.PADC.EnableAPD = true
+	cfg.DRAM.Channels = 2
+	cfg.Topology = &tp
+
+	resS, errS, _ := runKernel(t, cfg, KernelStepped)
+	resE, errE, sysE := runKernel(t, cfg, KernelEvents)
+	if errS != errE {
+		t.Fatalf("error mismatch:\n  stepped: %q\n  events:  %q", errS, errE)
+	}
+	if !reflect.DeepEqual(resS, resE) {
+		t.Fatalf("results diverge on the two-domain topology:\n  stepped: %+v\n  events:  %+v", resS, resE)
+	}
+	if len(resE.Domains) != 2 {
+		t.Fatalf("expected 2 domain breakdowns, got %d", len(resE.Domains))
+	}
+	for _, d := range resE.Domains {
+		if d.Serviced == 0 {
+			t.Errorf("domain %q serviced no requests: steering never reached it", d.Name)
+		}
+	}
+	skips, skipped := sysE.SkipStats()
+	if skips == 0 || skipped == 0 {
+		t.Fatalf("event kernel never skipped on the two-domain machine (skips=%d skipped=%d)", skips, skipped)
+	}
+	t.Logf("two-domain: %d cycles, near=%d far=%d serviced, %d skips covering %d cycles",
+		resE.Cycles, resE.Domains[0].Serviced, resE.Domains[1].Serviced, skips, skipped)
 }
 
 // TestKernelTelemetryRollups runs both kernels with the full observability

@@ -13,6 +13,7 @@ import (
 	"padc/internal/stats"
 	"padc/internal/telemetry"
 	"padc/internal/telemetry/lifecycle"
+	"padc/internal/topology"
 	"padc/internal/workload"
 )
 
@@ -66,13 +67,33 @@ type coreCtx struct {
 	snapBusDemand, snapBusPure, snapBusPromo, snapUsedAfter, snapDropped uint64
 }
 
-// System is one fully wired simulated machine.
+// System is one fully wired simulated machine. Controllers are kept as
+// one flat slice in global channel order (domain 0's channels first) so
+// the run loop, event aggregation and audits are topology-oblivious; the
+// steering tables translate between global line addresses and per-domain
+// controller state.
 type System struct {
 	cfg   Config
 	padc  *core.PADC
 	chans []*dram.Channel
 	ctrls []*memctrl.Controller
 	cores []*coreCtx
+
+	// Topology wiring: compiled address steering, per-domain DRAM configs,
+	// and per-global-channel domain/link lookups. A flat machine has one
+	// domain, identity steering, and all-zero links.
+	steer     *topology.Steering
+	domCfg    []dram.Config
+	chanOff   []int
+	ctrlDom   []int
+	ctrlLink  []uint64
+	domThresh []func(core int) uint64 // APD threshold bound per domain
+
+	// Per-domain service accounting (reported only on multi-domain runs).
+	domServiced []uint64
+	domRowHits  []uint64
+	domPrefSent []uint64
+	domPrefUsed []uint64
 
 	cycle uint64
 
@@ -117,39 +138,99 @@ func New(cfg Config) (*System, error) {
 		return nil, err
 	}
 	s := &System{cfg: cfg}
-	s.padc = core.New(cfg.Cores, cfg.PADC)
 
-	s.chans = make([]*dram.Channel, cfg.DRAM.Channels)
-	s.ctrls = make([]*memctrl.Controller, cfg.DRAM.Channels)
+	topo := cfg.topo()
+	names := make([]string, len(topo.Domains))
+	for d, dom := range topo.Domains {
+		names[d] = dom.Name
+	}
+	s.padc = core.NewTiered(names, cfg.Cores, cfg.PADC)
+	steer, err := topo.Steering(cfg.DRAM.LinesPerRow())
+	if err != nil {
+		return nil, err
+	}
+	s.steer = steer
+
+	// Each domain fronts its own DRAM config: the topology supplies the
+	// channel count and optional timing part, the base config everything
+	// else. A flat machine's single domain config equals cfg.DRAM exactly.
+	s.domCfg = make([]dram.Config, len(topo.Domains))
+	for d, dom := range topo.Domains {
+		dc := cfg.DRAM
+		dc.Channels = dom.Channels
+		if dom.Timing != nil {
+			dc.Timing = *dom.Timing
+		}
+		if err := dc.Validate(); err != nil {
+			return nil, fmt.Errorf("sim: topology domain %q: %w", dom.Name, err)
+		}
+		s.domCfg[d] = dc
+	}
+	s.chanOff = topo.ChannelOffsets()
+	nchan := topo.TotalChannels()
+
+	s.chans = make([]*dram.Channel, nchan)
+	s.ctrls = make([]*memctrl.Controller, nchan)
+	s.ctrlDom = make([]int, nchan)
+	s.ctrlLink = make([]uint64, nchan)
+	s.domServiced = make([]uint64, len(topo.Domains))
+	s.domRowHits = make([]uint64, len(topo.Domains))
+	s.domPrefSent = make([]uint64, len(topo.Domains))
+	s.domPrefUsed = make([]uint64, len(topo.Domains))
+	s.domThresh = make([]func(core int) uint64, len(topo.Domains))
+	for d := range s.domThresh {
+		d := d
+		s.domThresh[d] = func(core int) uint64 { return s.padc.DropThresholdIn(d, core) }
+	}
 	stack, err := memctrl.ResolveStack(cfg.Policy, cfg.Rules)
 	if err != nil {
 		return nil, err
 	}
 	// Explicit rule stacks always see the PADC accuracy meter (rules that
 	// never consult it simply ignore it); the legacy enum path keeps its
-	// historical wiring of handing it only to the adaptive policies.
-	var st memctrl.CoreState
-	if cfg.Rules != "" || cfg.Policy == memctrl.APS || cfg.Policy == memctrl.APSRank {
-		st = s.padc
-	}
+	// historical wiring of handing it only to the adaptive policies. Each
+	// controller sees its own domain's view, so APS criticality follows
+	// tier-local accuracy.
+	wantState := cfg.Rules != "" || cfg.Policy == memctrl.APS || cfg.Policy == memctrl.APSRank
 	if cfg.Flight != nil {
-		cfg.Flight.Configure(cfg.DRAM.Channels, cfg.DRAM.Banks)
-	}
-	for i := range s.chans {
-		s.chans[i] = dram.NewChannel(cfg.DRAM)
-		s.ctrls[i] = memctrl.NewStack(stack, s.chans[i], cfg.BufferSlots, st)
-		if cfg.DRAM.Refresh.Enabled() {
-			eng := refresh.NewEngine(cfg.DRAM.Refresh, cfg.DRAM.Banks)
-			// The run loop ticks controllers every EffectiveTickEvery
-			// cycles while they have work, so each Advance normally covers
-			// exactly one tick period. The event kernel may skip across
-			// provably-idle gaps; capping the delta at the period keeps the
-			// first post-gap blocked-cycle charge identical to stepping.
-			eng.CapDelta(cfg.DRAM.EffectiveTickEvery())
-			s.ctrls[i].AttachRefresh(eng)
+		cfg.Flight.Configure(nchan, cfg.DRAM.Banks)
+		if len(topo.Domains) > 1 {
+			chanDoms := make([]string, nchan)
+			for d, dom := range topo.Domains {
+				for lc := 0; lc < dom.Channels; lc++ {
+					chanDoms[s.chanOff[d]+lc] = dom.Name
+				}
+			}
+			cfg.Flight.LabelDomains(chanDoms)
 		}
-		if cfg.Flight != nil {
-			s.ctrls[i].AttachFlight(cfg.Flight, i)
+	}
+	gi := 0
+	for d, dom := range topo.Domains {
+		dc := s.domCfg[d]
+		var st memctrl.CoreState
+		if wantState {
+			st = s.padc.DomainView(d)
+		}
+		for lc := 0; lc < dom.Channels; lc++ {
+			s.chans[gi] = dram.NewChannel(dc)
+			s.ctrls[gi] = memctrl.NewStack(stack, s.chans[gi], cfg.BufferSlots, st)
+			s.ctrls[gi].SetLinkLatency(dom.LinkCycles)
+			s.ctrlDom[gi] = d
+			s.ctrlLink[gi] = dom.LinkCycles
+			if dc.Refresh.Enabled() {
+				eng := refresh.NewEngine(dc.Refresh, dc.Banks)
+				// The run loop ticks controllers every EffectiveTickEvery
+				// cycles while they have work, so each Advance normally covers
+				// exactly one tick period. The event kernel may skip across
+				// provably-idle gaps; capping the delta at the period keeps the
+				// first post-gap blocked-cycle charge identical to stepping.
+				eng.CapDelta(dc.EffectiveTickEvery())
+				s.ctrls[gi].AttachRefresh(eng)
+			}
+			if cfg.Flight != nil {
+				s.ctrls[gi].AttachFlight(cfg.Flight, gi)
+			}
+			gi++
 		}
 	}
 
@@ -221,6 +302,19 @@ func (s *System) instrument(tel *telemetry.Telemetry) {
 	// Arrival-to-fill service time, the Figure 4(a) axis.
 	s.svcHist = tel.Histogram("dram/service_cycles", []uint64{200, 400, 800, 1600, 3200})
 
+	// Per-domain series exist only on multi-tier machines, so flat runs
+	// keep the exact pre-topology metric namespace.
+	if topo := s.steer.Topology(); len(topo.Domains) > 1 {
+		for d := range topo.Domains {
+			d := d
+			pre := "dom/" + topo.Domains[d].Name
+			tel.CounterFunc(pre+"/serviced", func() uint64 { return s.domServiced[d] })
+			tel.CounterFunc(pre+"/row_hits", func() uint64 { return s.domRowHits[d] })
+			tel.CounterFunc(pre+"/pref_sent", func() uint64 { return s.domPrefSent[d] })
+			tel.CounterFunc(pre+"/pref_used", func() uint64 { return s.domPrefUsed[d] })
+		}
+	}
+
 	for _, cs := range s.cores {
 		cs := cs
 		pre := fmt.Sprintf("core%d", cs.id)
@@ -282,6 +376,23 @@ func gline(coreID int, line uint64) uint64 {
 
 func (s *System) ctrlFor(a dram.Address) *memctrl.Controller { return s.ctrls[a.Channel] }
 
+// mapLine steers a global line address to its owning domain and maps it
+// through that domain's DRAM config, returning a machine-global address
+// (Channel is the global channel index). On a flat machine steering is
+// the identity and this is exactly cfg.DRAM.Map.
+func (s *System) mapLine(g uint64) dram.Address {
+	d, local := s.steer.Steer(g)
+	a := s.domCfg[d].Map(local)
+	a.Channel += s.chanOff[d]
+	return a
+}
+
+// domainOfLine returns the memory domain a global line address steers to.
+func (s *System) domainOfLine(g uint64) int {
+	d, _ := s.steer.Steer(g)
+	return d
+}
+
 // Load implements cpu.Memory: the demand-load path through L1, the
 // last-level cache, MSHRs and the memory request buffer. Statistics and
 // prefetcher training fire only on a load's first attempt; retries after a
@@ -336,7 +447,7 @@ func (s *System) Load(coreID int, seq, line, pc uint64, runahead bool, now uint6
 		// criticality; it counts as useful (§4.1, footnote 9).
 		if e.Prefetch {
 			e.Prefetch = false
-			addr := s.cfg.DRAM.Map(g)
+			addr := s.mapLine(g)
 			s.ctrlFor(addr).MatchPrefetch(coreID, g, now)
 			s.noteUseful(cs, g, false, true)
 		}
@@ -356,7 +467,7 @@ func (s *System) Load(coreID int, seq, line, pc uint64, runahead bool, now uint6
 		}
 		return cpu.LoadResult{Retry: true}
 	}
-	addr := s.cfg.DRAM.Map(g)
+	addr := s.mapLine(g)
 	req := &memctrl.Request{
 		Core: coreID, Line: g, Addr: addr,
 		Runahead: runahead, Arrival: now,
@@ -379,7 +490,9 @@ func (s *System) Load(coreID int, seq, line, pc uint64, runahead bool, now uint6
 // accounted at service completion instead.
 func (s *System) noteUseful(cs *coreCtx, g uint64, fillRowHit, promotion bool) {
 	cs.prefUsed++
-	s.padc.NotePrefetchUsed(cs.id)
+	d := s.domainOfLine(g)
+	s.padc.NoteUsed(d, cs.id)
+	s.domPrefUsed[d]++
 	if cs.fdp != nil {
 		cs.fdp.CountUseful()
 		if promotion {
@@ -436,7 +549,7 @@ func (s *System) observe(cs *coreCtx, ev prefetch.AccessEvent, now uint64) {
 			cs.pfqDropped++
 			continue
 		}
-		addr := s.cfg.DRAM.Map(cand)
+		addr := s.mapLine(cand)
 		ctrl := s.ctrlFor(addr)
 		req := &memctrl.Request{
 			Core: cs.id, Line: cand, Addr: addr,
@@ -449,7 +562,9 @@ func (s *System) observe(cs *coreCtx, ev prefetch.AccessEvent, now uint64) {
 		cs.mshr.Allocate(cand, true)
 		cs.prefSent++
 		cs.prefInflight++
-		s.padc.NotePrefetchSent(cs.id)
+		d := s.ctrlDom[addr.Channel]
+		s.padc.NoteSent(d, cs.id)
+		s.domPrefSent[d]++
 		if cs.fdp != nil {
 			cs.fdp.CountSent()
 		}
@@ -479,8 +594,13 @@ func rowOutcome(st dram.RowState) lifecycle.RowOutcome {
 // span assembles the lifecycle record of a serviced request from the
 // stage stamps the controller left on it.
 func (s *System) span(r *memctrl.Request, class lifecycle.Class) lifecycle.Span {
+	// FinishAt includes the domain's link delay; the bus transfer happened
+	// before the request went onto the link, at that domain's burst width.
 	busStart := r.FinishAt
-	if burst := s.cfg.DRAM.Timing.Burst; busStart > burst {
+	if link := s.ctrlLink[r.Addr.Channel]; busStart > link {
+		busStart -= link
+	}
+	if burst := s.domCfg[s.ctrlDom[r.Addr.Channel]].Timing.Burst; busStart > burst {
 		busStart -= burst
 	}
 	return lifecycle.Span{
@@ -495,8 +615,11 @@ func (s *System) span(r *memctrl.Request, class lifecycle.Class) lifecycle.Span 
 func (s *System) complete(r *memctrl.Request, now uint64) {
 	cs := s.cores[r.Core]
 	s.serviced++
+	d := s.ctrlDom[r.Addr.Channel]
+	s.domServiced[d]++
 	if r.IssueHit {
 		s.rowHits++
+		s.domRowHits[d]++
 	}
 	if r.WasPref {
 		cs.prefServiced++
@@ -574,13 +697,14 @@ func (s *System) complete(r *memctrl.Request, now uint64) {
 	}
 }
 
-// dropExpired runs the APD scan over every controller.
+// dropExpired runs the APD scan over every controller, each judged by its
+// own domain's drop thresholds.
 func (s *System) dropExpired(now uint64) {
-	for _, ctrl := range s.ctrls {
+	for i, ctrl := range s.ctrls {
 		if ctrl.Pending() == 0 {
 			continue
 		}
-		for _, r := range ctrl.DropExpired(now, s.padc.DropThreshold) {
+		for _, r := range ctrl.DropExpired(now, s.domThresh[s.ctrlDom[i]]) {
 			cs := s.cores[r.Core]
 			cs.mshr.Release(r.Line)
 			cs.prefDropped++
@@ -864,6 +988,28 @@ func (s *System) results() stats.Results {
 			r.Refresh.PulledIn += eng.PulledIn
 			r.Refresh.Forced += eng.Forced
 			r.Refresh.BlockedCycles += eng.BlockedCycles
+		}
+	}
+	if topo := s.steer.Topology(); len(topo.Domains) > 1 {
+		r.Domains = make([]stats.DomainStats, len(topo.Domains))
+		for d, dom := range topo.Domains {
+			ds := stats.DomainStats{
+				Name: dom.Name, Channels: dom.Channels, LinkCycles: dom.LinkCycles,
+				Serviced: s.domServiced[d], RowHits: s.domRowHits[d],
+				PrefSent: s.domPrefSent[d], PrefUsed: s.domPrefUsed[d],
+			}
+			for lc := 0; lc < dom.Channels; lc++ {
+				gi := s.chanOff[d] + lc
+				ds.BusBusyCycles += s.chans[gi].BusBusyCycles
+				if eng := s.ctrls[gi].Refresh(); eng != nil {
+					ds.RefreshBlocked += eng.BlockedCycles
+				}
+			}
+			ds.Accuracy = make([]float64, s.cfg.Cores)
+			for c := range ds.Accuracy {
+				ds.Accuracy[c] = s.padc.AccuracyIn(d, c)
+			}
+			r.Domains[d] = ds
 		}
 	}
 	if s.histUseful != nil {

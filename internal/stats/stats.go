@@ -88,6 +88,43 @@ type RefreshStats struct {
 	BlockedCycles uint64 // bank-cycles requests waited behind refresh
 }
 
+// DomainStats is one memory domain's slice of the run on a multi-tier
+// topology: service and row-hit counts, data-bus occupancy, refresh
+// interference, and the tier-local PADC accuracy picture per core.
+type DomainStats struct {
+	Name       string
+	Channels   int
+	LinkCycles uint64
+
+	Serviced       uint64 // DRAM requests this domain completed
+	RowHits        uint64
+	BusBusyCycles  uint64 // summed over the domain's channels
+	RefreshBlocked uint64 // bank-cycles requests waited behind refresh
+
+	PrefSent uint64 // prefetches steered into this domain
+	PrefUsed uint64 // of those, later consumed by a demand
+
+	// Accuracy is each core's tier-local PAR estimate at the end of the
+	// run — the value APS promotion and APD drop thresholds acted on.
+	Accuracy []float64
+}
+
+// RBH returns the domain's row-buffer hit rate.
+func (d DomainStats) RBH() float64 {
+	if d.Serviced == 0 {
+		return 0
+	}
+	return float64(d.RowHits) / float64(d.Serviced)
+}
+
+// ACC returns the domain's measured prefetch accuracy over the whole run.
+func (d DomainStats) ACC() float64 {
+	if d.PrefSent == 0 {
+		return 0
+	}
+	return float64(d.PrefUsed) / float64(d.PrefSent)
+}
+
 // BusTraffic is the system's transferred cache lines by origin.
 type BusTraffic struct {
 	Demand      uint64
@@ -113,6 +150,11 @@ type Results struct {
 	BufferRejects uint64
 
 	Refresh RefreshStats // DRAM maintenance totals (zero when refresh is off)
+
+	// Domains holds per-domain breakdowns on multi-tier topologies; nil on
+	// a flat machine so flat results stay structurally identical to the
+	// pre-topology simulator.
+	Domains []DomainStats
 
 	// Optional traces for Figure 4.
 	ServiceHistUseful  []uint64 // histogram buckets of service time, useful prefetches

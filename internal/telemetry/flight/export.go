@@ -16,7 +16,15 @@ const cyclesPerMicro = 4000.0
 // heatmap. Output is a pure function of the recorded run.
 func (r *Recorder) WriteCSV(w io.Writer) error {
 	bw := bufio.NewWriter(w)
-	bw.WriteString("epoch,start,end,chan,bank,hits,closed,conflicts,opens,closes,demand,pref,refreshes,refresh_blocked\n")
+	// Multi-tier recorders carry per-channel domain labels; a trailing
+	// domain column appears only then, so flat heatmaps stay byte-identical
+	// to the historical format.
+	labeled := r != nil && len(r.domains) > 0
+	bw.WriteString("epoch,start,end,chan,bank,hits,closed,conflicts,opens,closes,demand,pref,refreshes,refresh_blocked")
+	if labeled {
+		bw.WriteString(",domain")
+	}
+	bw.WriteByte('\n')
 	if r == nil {
 		return bw.Flush()
 	}
@@ -33,6 +41,10 @@ func (r *Recorder) WriteCSV(w io.Writer) error {
 						bw.WriteByte(',')
 					}
 					bw.WriteString(strconv.FormatUint(v, 10))
+				}
+				if labeled {
+					bw.WriteByte(',')
+					bw.WriteString(r.domains[ch])
 				}
 				bw.WriteByte('\n')
 			}

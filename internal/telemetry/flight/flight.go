@@ -121,6 +121,11 @@ type Recorder struct {
 
 	totals []Cell // lifetime per-bank accumulation (includes evicted epochs)
 	rules  []ruleSource
+
+	// domains, when set, labels each channel with its memory-domain name
+	// (multi-tier topologies). Empty on flat machines, keeping their
+	// exports byte-identical to the pre-topology format.
+	domains []string
 }
 
 // New builds an enabled Recorder. Geometry is supplied by the simulation
@@ -163,6 +168,27 @@ func (r *Recorder) Configure(channels, banks int) {
 	r.cur = Epoch{Cells: make([]Cell, channels*banks)}
 	r.totals = make([]Cell, channels*banks)
 	r.rules = make([]ruleSource, channels)
+}
+
+// LabelDomains tags each channel with its memory-domain name (index =
+// channel). The simulation calls it only on multi-tier topologies;
+// unlabeled recorders export the historical flat format unchanged.
+func (r *Recorder) LabelDomains(names []string) {
+	if r == nil || len(names) == 0 {
+		return
+	}
+	if r.channels != 0 && len(names) != r.channels {
+		panic("flight: domain labels do not match channel count")
+	}
+	r.domains = append([]string(nil), names...)
+}
+
+// Domain returns the channel's domain label ("" when unlabeled).
+func (r *Recorder) Domain(ch int) string {
+	if r == nil || ch < 0 || ch >= len(r.domains) {
+		return ""
+	}
+	return r.domains[ch]
 }
 
 // AttachRules registers a channel's rule-win sampler: names label the
@@ -329,6 +355,7 @@ type Summary struct {
 	Epochs      int      `json:"epochs"`            // epochs ever completed
 	Dropped     int      `json:"dropped,omitempty"` // evicted from the ring
 	Rules       []string `json:"rules,omitempty"`   // rule names (shared across channels)
+	Domains     []string `json:"domains,omitempty"` // per-channel domain labels (multi-tier only)
 	Totals      []Cell   `json:"totals"`            // lifetime per-bank cells, channel-major
 	Ring        []Epoch  `json:"ring"`              // retained epochs, oldest first
 }
@@ -346,6 +373,9 @@ func (r *Recorder) Summary() *Summary {
 		Epochs:      r.done,
 		Dropped:     r.drop,
 		Totals:      append([]Cell(nil), r.totals...),
+	}
+	if len(r.domains) > 0 {
+		s.Domains = append([]string(nil), r.domains...)
 	}
 	// All channels run the same rule stack in one machine, so channel
 	// 0's names label every channel's delta vector.

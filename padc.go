@@ -18,6 +18,7 @@ package padc
 import (
 	"fmt"
 	"sort"
+	"strings"
 
 	"padc/internal/core"
 	"padc/internal/cpu"
@@ -29,6 +30,7 @@ import (
 	"padc/internal/telemetry"
 	"padc/internal/telemetry/flight"
 	"padc/internal/telemetry/lifecycle"
+	"padc/internal/topology"
 	"padc/internal/workload"
 )
 
@@ -92,6 +94,14 @@ type SystemConfig struct {
 
 	Channels    int    // independent memory controllers
 	RowBufferKB uint64 // DRAM row-buffer size per bank
+
+	// Topology selects the memory wiring: "" or "flat" (default, one
+	// domain holding Channels channels), a named preset such as
+	// "far-tier" (near domain at Channels channels plus a one-channel
+	// pooled tier behind a 256-cycle link), or an inline JSON topology
+	// spec (a string starting with "{"; see internal/topology). Presets
+	// are resolved against Channels. TopologyNames lists the presets.
+	Topology    string
 	L2KB        uint64 // last-level cache per core (or total when SharedL2)
 	SharedL2    bool
 	ClosedRow   bool
@@ -248,6 +258,11 @@ func (c SystemConfig) toSim() (sim.Config, error) {
 	}
 	cfg.DRAM.Page = page
 	cfg.Core.Runahead = c.Runahead
+	topo, err := c.resolveTopology(cfg.DRAM.Channels)
+	if err != nil {
+		return sim.Config{}, err
+	}
+	cfg.Topology = topo
 	if c.TargetInsts > 0 {
 		cfg.TargetInsts = c.TargetInsts
 	}
@@ -263,6 +278,32 @@ func (c SystemConfig) toSim() (sim.Config, error) {
 	// Full validation (including the workload) happens in sim.Run.
 	return cfg, nil
 }
+
+// resolveTopology lowers the Topology string: empty and "flat" stay nil
+// (the flat machine), other names resolve as presets against the base
+// channel count, and a leading "{" parses as an inline JSON spec.
+func (c SystemConfig) resolveTopology(channels int) (*topology.Topology, error) {
+	spec := strings.TrimSpace(c.Topology)
+	switch {
+	case spec == "" || spec == "flat":
+		return nil, nil
+	case strings.HasPrefix(spec, "{"):
+		t, err := topology.FromJSON([]byte(spec))
+		if err != nil {
+			return nil, err
+		}
+		return &t, nil
+	default:
+		t, err := topology.Preset(spec, channels)
+		if err != nil {
+			return nil, err
+		}
+		return &t, nil
+	}
+}
+
+// TopologyNames returns the built-in topology preset names.
+func TopologyNames() []string { return topology.Names() }
 
 // ResolvedCache is one cache level's resolved shape.
 type ResolvedCache struct {
@@ -300,6 +341,30 @@ type ResolvedDRAM struct {
 	Refresh ResolvedRefresh `json:"refresh"`
 }
 
+// ResolvedDomain is one memory domain's resolved wiring: its channel
+// range in global numbering, link latency, and effective timing.
+type ResolvedDomain struct {
+	Name         string `json:"name"`
+	Channels     int    `json:"channels"`
+	FirstChannel int    `json:"first_channel"`
+	LinkCycles   uint64 `json:"link_cycles"`
+
+	TRP   uint64 `json:"trp"`
+	TRCD  uint64 `json:"trcd"`
+	CL    uint64 `json:"cl"`
+	Burst uint64 `json:"burst"`
+}
+
+// ResolvedTopology is the resolved memory wiring: the domain list in
+// global channel order and the interleave policy steering addresses
+// across it. A flat machine reports one zero-link domain.
+type ResolvedTopology struct {
+	Name       string           `json:"name"`
+	Interleave string           `json:"interleave"`
+	Channels   int              `json:"channels"` // machine-wide total
+	Domains    []ResolvedDomain `json:"domains"`
+}
+
 // ResolvedConfig is the fully-lowered view of a SystemConfig: every
 // default filled in, every enum reduced to its canonical spelling, and
 // the scheduling policy expanded into the rule stack it runs as. padcsim
@@ -315,12 +380,13 @@ type ResolvedConfig struct {
 	Prefetcher string `json:"prefetcher"`
 	Filter     string `json:"filter"`
 
-	DRAM        ResolvedDRAM  `json:"dram"`
-	L1          ResolvedCache `json:"l1"`
-	L2          ResolvedCache `json:"l2"`
-	SharedL2    bool          `json:"shared_l2"`
-	MSHR        int           `json:"mshr_per_cache"`
-	BufferSlots int           `json:"buffer_slots"`
+	DRAM        ResolvedDRAM     `json:"dram"`
+	Topology    ResolvedTopology `json:"topology"`
+	L1          ResolvedCache    `json:"l1"`
+	L2          ResolvedCache    `json:"l2"`
+	SharedL2    bool             `json:"shared_l2"`
+	MSHR        int              `json:"mshr_per_cache"`
+	BufferSlots int              `json:"buffer_slots"`
 }
 
 // Describe lowers the config exactly as Run would and reports the
@@ -371,6 +437,31 @@ func (c SystemConfig) Describe() (ResolvedConfig, error) {
 			MaxPostpone: r.MaxPostpone,
 		}
 	}
+	topo := topology.Flat(cfg.DRAM.Channels)
+	if cfg.Topology != nil {
+		topo = *cfg.Topology
+	}
+	il := topo.Interleave
+	if il == "" {
+		il = topology.InterleaveChannel
+	}
+	rc.Topology = ResolvedTopology{
+		Name:       topo.Name,
+		Interleave: il,
+		Channels:   topo.TotalChannels(),
+	}
+	offs := topo.ChannelOffsets()
+	for d, dom := range topo.Domains {
+		tm := cfg.DRAM.Timing
+		if dom.Timing != nil {
+			tm = *dom.Timing
+		}
+		rc.Topology.Domains = append(rc.Topology.Domains, ResolvedDomain{
+			Name: dom.Name, Channels: dom.Channels, FirstChannel: offs[d],
+			LinkCycles: dom.LinkCycles,
+			TRP:        tm.TRP, TRCD: tm.TRCD, CL: tm.CL, Burst: tm.Burst,
+		})
+	}
 	return rc, nil
 }
 
@@ -408,6 +499,33 @@ type Result struct {
 	RefreshesPulledIn    uint64
 	RefreshesForced      uint64
 	RefreshBlockedCycles uint64
+
+	// Domains holds per-domain breakdowns on multi-tier topologies (nil on
+	// flat machines): service and row-hit counts, bus occupancy, refresh
+	// blocking, and the tier-local PADC accuracy estimates APS/APD acted
+	// on.
+	Domains []DomainResult
+}
+
+// DomainResult is one memory domain's slice of the run.
+type DomainResult struct {
+	Name       string
+	Channels   int
+	LinkCycles uint64
+
+	Serviced       uint64
+	RowHitRate     float64
+	BusBusyCycles  uint64
+	RefreshBlocked uint64
+
+	PrefSent     uint64
+	PrefUsed     uint64
+	PrefAccuracy float64 // whole-run used/sent for prefetches into this tier
+
+	// CoreAccuracy is each core's tier-local PAR estimate at the end of
+	// the run — the per-tier PADC accuracy APS promotion and APD drop
+	// thresholds consulted.
+	CoreAccuracy []float64
 }
 
 // BusTotal returns total transferred cache lines.
@@ -455,6 +573,21 @@ func lower(res stats.Results) Result {
 		RefreshesPulledIn:    res.Refresh.PulledIn,
 		RefreshesForced:      res.Refresh.Forced,
 		RefreshBlockedCycles: res.Refresh.BlockedCycles,
+	}
+	for _, d := range res.Domains {
+		out.Domains = append(out.Domains, DomainResult{
+			Name:           d.Name,
+			Channels:       d.Channels,
+			LinkCycles:     d.LinkCycles,
+			Serviced:       d.Serviced,
+			RowHitRate:     d.RBH(),
+			BusBusyCycles:  d.BusBusyCycles,
+			RefreshBlocked: d.RefreshBlocked,
+			PrefSent:       d.PrefSent,
+			PrefUsed:       d.PrefUsed,
+			PrefAccuracy:   d.ACC(),
+			CoreAccuracy:   append([]float64(nil), d.Accuracy...),
+		})
 	}
 	for _, c := range res.PerCore {
 		out.Cores = append(out.Cores, CoreResult{
