@@ -65,6 +65,7 @@ import (
 	"net/http"
 	_ "net/http/pprof"
 	"os"
+	"sort"
 	"strings"
 
 	"padc"
@@ -82,7 +83,8 @@ func main() {
 		full    = flag.Bool("full", false, "paper-scale workload counts (slow)")
 		bench   = flag.String("bench", "", "comma-separated benchmark names, one per core")
 		policy  = flag.String("policy", "padc", "no-pref|demand-first|equal|prefetch-first|aps|padc|padc-rank, or rules:<list> (e.g. rules:critical,rowhit,urgent,fcfs)")
-		pf      = flag.String("prefetcher", "stream", "none|stream|stride|cdc|markov")
+		pf      = flag.String("prefetcher", "stream", strings.Join(prefetcherNames(), "|"))
+		memside = flag.Bool("memside", false, "enable the DRAM-side prefetch path (controller-generated row-hit prefetches, PADC-gated)")
 		insts   = flag.Uint64("insts", 0, "instructions per core (0 = default)")
 		cores   = flag.Int("cores", 0, "cores to provision (0 = number of benchmarks)")
 		verbose = flag.Bool("v", false, "per-core details")
@@ -127,7 +129,7 @@ func main() {
 			fmt.Printf("  %s\n", id)
 		}
 	case *dumpConfig:
-		cfg, names, err := buildConfig(*bench, *policy, *pf, *refreshMode, *pagePolicy, *topoSpec, *kernel, *insts, *cores)
+		cfg, names, err := buildConfig(*bench, *policy, *pf, *refreshMode, *pagePolicy, *topoSpec, *kernel, *memside, *insts, *cores)
 		if err != nil {
 			fatal(err)
 		}
@@ -157,7 +159,7 @@ func main() {
 		}
 		fmt.Print(out)
 	case *bench != "":
-		cfg, names, err := buildConfig(*bench, *policy, *pf, *refreshMode, *pagePolicy, *topoSpec, *kernel, *insts, *cores)
+		cfg, names, err := buildConfig(*bench, *policy, *pf, *refreshMode, *pagePolicy, *topoSpec, *kernel, *memside, *insts, *cores)
 		if err != nil {
 			fatal(err)
 		}
@@ -326,7 +328,7 @@ func runSweepRemote(server, path string, jobs int, verify bool, csvOut, jsonOut 
 // buildConfig assembles the machine the simulation flags describe and
 // returns it with the benchmark list. With no -bench and no -cores it
 // provisions a single core, which is enough for -dump-config.
-func buildConfig(bench, policy, pf, refreshMode, page, topo, kernel string, insts uint64, cores int) (padc.SystemConfig, []string, error) {
+func buildConfig(bench, policy, pf, refreshMode, page, topo, kernel string, memside bool, insts uint64, cores int) (padc.SystemConfig, []string, error) {
 	var names []string
 	if bench != "" {
 		names = strings.Split(bench, ",")
@@ -356,6 +358,7 @@ func buildConfig(bench, policy, pf, refreshMode, page, topo, kernel string, inst
 	}
 	cfg.Topology = topo
 	cfg.Kernel = kernel
+	cfg.MemSide = memside
 	return cfg, names, nil
 }
 
@@ -423,21 +426,32 @@ func applyPolicy(cfg *padc.SystemConfig, s string) error {
 	return nil
 }
 
-func applyPrefetcher(cfg *padc.SystemConfig, s string) error {
-	switch s {
-	case "none":
-		cfg.Prefetcher = padc.NoPrefetcher
-	case "stream":
-		cfg.Prefetcher = padc.Stream
-	case "stride":
-		cfg.Prefetcher = padc.Stride
-	case "cdc":
-		cfg.Prefetcher = padc.CDC
-	case "markov":
-		cfg.Prefetcher = padc.Markov
-	default:
-		return fmt.Errorf("unknown prefetcher %q", s)
+// prefetcherFlags maps the -prefetcher vocabulary onto the public enum.
+var prefetcherFlags = map[string]padc.Prefetcher{
+	"none":    padc.NoPrefetcher,
+	"stream":  padc.Stream,
+	"stride":  padc.Stride,
+	"cdc":     padc.CDC,
+	"markov":  padc.Markov,
+	"dspatch": padc.DSPatch,
+}
+
+// prefetcherNames returns the accepted -prefetcher spellings, sorted.
+func prefetcherNames() []string {
+	names := make([]string, 0, len(prefetcherFlags))
+	for k := range prefetcherFlags {
+		names = append(names, k)
 	}
+	sort.Strings(names)
+	return names
+}
+
+func applyPrefetcher(cfg *padc.SystemConfig, s string) error {
+	kind, ok := prefetcherFlags[s]
+	if !ok {
+		return fmt.Errorf("unknown prefetcher %q (valid: %s)", s, strings.Join(prefetcherNames(), ", "))
+	}
+	cfg.Prefetcher = kind
 	return nil
 }
 
@@ -455,6 +469,15 @@ func report(res padc.Result, verbose bool) {
 	for _, d := range res.Domains {
 		fmt.Printf("domain %-8s ch=%d link=%d serviced=%d row-hit=%.1f%% bus-busy=%d pref-acc=%.1f%%\n",
 			d.Name, d.Channels, d.LinkCycles, d.Serviced, d.RowHitRate*100, d.BusBusyCycles, d.PrefAccuracy*100)
+	}
+	if ms := res.MemSide; ms != nil {
+		fmt.Printf("memside: generated=%d issued=%d serviced=%d used=%d acc=%.1f%% dropped(pressure/stale/apd)=%d/%d/%d gate-closed=%d\n",
+			ms.Generated, ms.Issued, ms.Serviced, ms.Used, ms.Accuracy*100,
+			ms.DroppedPressure, ms.DroppedStale, ms.Dropped, ms.GateClosed)
+	}
+	if ds := res.DSPatch; ds != nil {
+		fmt.Printf("dspatch: issued=%d covp-triggers=%d accp-triggers=%d cov-acc=%.1f%% acc-acc=%.1f%% headroom=%.2f\n",
+			ds.Issued, ds.CovPSelected, ds.AccPSelected, ds.CovAccuracy*100, ds.AccAccuracy*100, ds.Headroom)
 	}
 	for _, c := range res.Cores {
 		fmt.Printf("  %-12s IPC=%.3f MPKI=%.2f SPL=%.1f", c.Benchmark, c.IPC, c.MPKI, c.SPL)

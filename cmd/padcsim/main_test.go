@@ -51,12 +51,17 @@ func TestApplyPrefetcherRejectsUnknown(t *testing.T) {
 	if !strings.Contains(err.Error(), "ghb") {
 		t.Fatalf("error should name the bad value: %v", err)
 	}
+	for _, valid := range prefetcherNames() {
+		if !strings.Contains(err.Error(), valid) {
+			t.Fatalf("error should list valid name %q: %v", valid, err)
+		}
+	}
 }
 
 func TestApplyPrefetcherKnownValues(t *testing.T) {
 	want := map[string]padc.Prefetcher{
 		"none": padc.NoPrefetcher, "stream": padc.Stream, "stride": padc.Stride,
-		"cdc": padc.CDC, "markov": padc.Markov,
+		"cdc": padc.CDC, "markov": padc.Markov, "dspatch": padc.DSPatch,
 	}
 	for s, pf := range want {
 		cfg := padc.DefaultSystem(1)
@@ -69,7 +74,7 @@ func TestApplyPrefetcherKnownValues(t *testing.T) {
 }
 
 func TestBuildConfigAppliesRefreshAndPage(t *testing.T) {
-	cfg, names, err := buildConfig("swim,art", "padc", "stream", "per-bank", "adaptive", "far-tier", "events", 5000, 0)
+	cfg, names, err := buildConfig("swim,art", "padc", "stream", "per-bank", "adaptive", "far-tier", "events", true, 5000, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -88,11 +93,17 @@ func TestBuildConfigAppliesRefreshAndPage(t *testing.T) {
 	if cfg.Topology != "far-tier" {
 		t.Fatalf("topology = %q, want far-tier", cfg.Topology)
 	}
+	if !cfg.MemSide {
+		t.Fatal("memside flag not threaded into the config")
+	}
 
 	// No benchmarks and no -cores still yields a describable machine.
-	cfg, names, err = buildConfig("", "padc", "stream", "off", "open", "", "", 0, 0)
+	cfg, names, err = buildConfig("", "padc", "stream", "off", "open", "", "", false, 0, 0)
 	if err != nil || len(names) != 0 || cfg.Cores != 1 {
 		t.Fatalf("flagless config: cores=%d names=%v err=%v", cfg.Cores, names, err)
+	}
+	if cfg.MemSide {
+		t.Fatal("memside must default off")
 	}
 }
 
@@ -122,7 +133,7 @@ func TestResolveTopologyFlag(t *testing.T) {
 	}
 
 	// The file contents must actually build a machine end to end.
-	cfg, _, err := buildConfig("swim", "padc", "stream", "off", "open", path, "events", 0, 0)
+	cfg, _, err := buildConfig("swim", "padc", "stream", "off", "open", path, "events", false, 0, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -137,7 +148,7 @@ func TestResolveTopologyFlag(t *testing.T) {
 }
 
 func TestWriteResolvedConfigJSON(t *testing.T) {
-	cfg, names, err := buildConfig("swim", "padc", "stream", "all-bank", "closed", "", "stepped", 0, 0)
+	cfg, names, err := buildConfig("swim", "padc", "stream", "all-bank", "closed", "", "stepped", false, 0, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -172,7 +183,7 @@ func TestWriteResolvedConfigJSON(t *testing.T) {
 
 func TestWriteResolvedConfigRejectsBadModes(t *testing.T) {
 	for _, tc := range [][2]string{{"hourly", "open"}, {"off", "ajar"}} {
-		cfg, names, err := buildConfig("swim", "padc", "stream", tc[0], tc[1], "", "events", 0, 0)
+		cfg, names, err := buildConfig("swim", "padc", "stream", tc[0], tc[1], "", "events", false, 0, 0)
 		if err != nil {
 			t.Fatal(err) // buildConfig defers vocabulary checks to Describe/Run
 		}

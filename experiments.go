@@ -54,6 +54,7 @@ var experimentRegistry = map[string]func(sc exp.Scale) []*exp.Table{
 	"abl-topology": func(sc exp.Scale) []*exp.Table {
 		return []*exp.Table{exp.AblationTopology(sc)}
 	},
+	"abl-memside": func(sc exp.Scale) []*exp.Table { return []*exp.Table{exp.AblationMemSide(sc)} },
 }
 
 // ExperimentIDs lists every reproducible figure/table id.

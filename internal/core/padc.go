@@ -89,11 +89,15 @@ type coreMeter struct {
 // PADC is the adaptive controller state shared by APS and APD across all
 // memory controllers in the system. meters is indexed [domain][core]; a
 // flat machine has exactly one domain and behaves like the paper's
-// single-tier controller.
+// single-tier controller. msMeters (one per domain, allocated lazily by
+// the first NoteMemSideSent) judge the memory-side prefetch stream: the
+// controllers generate those prefetches themselves, so their accuracy is
+// a property of the tier's demand stream, not of any core.
 type PADC struct {
-	cfg     Config
-	domains []string // domain names; len 1 on a flat machine
-	meters  [][]coreMeter
+	cfg      Config
+	domains  []string // domain names; len 1 on a flat machine
+	meters   [][]coreMeter
+	msMeters []coreMeter // per-domain aggregate memory-side meters (nil until used)
 
 	tel   *telemetry.Telemetry // nil unless Instrument was called
 	clock func() uint64        // current cycle, for event timestamps
@@ -122,6 +126,23 @@ func NewTiered(domains []string, ncores int, cfg Config) *PADC {
 	return p
 }
 
+// TrackMemSide arms the per-domain memory-side accuracy meters. Call
+// before Instrument when the memory-side prefetch path is enabled; left
+// unarmed, the memside meters cost nothing and register no gauges, so a
+// memside-off machine's telemetry stays byte-identical.
+func (p *PADC) TrackMemSide() {
+	if p.msMeters != nil {
+		return
+	}
+	p.msMeters = make([]coreMeter, len(p.meters))
+	for d := range p.msMeters {
+		p.msMeters[d].par = 1 // optimistic until the first interval elapses
+	}
+}
+
+// MemSideTracked reports whether TrackMemSide was called.
+func (p *PADC) MemSideTracked() bool { return p.msMeters != nil }
+
 // Config returns the effective configuration after defaulting.
 func (p *PADC) Config() Config { return p.cfg }
 
@@ -148,7 +169,49 @@ func (p *PADC) Instrument(tel *telemetry.Telemetry, clock func() uint64) {
 			m := &p.meters[d][i]
 			tel.GaugeFunc(fmt.Sprintf("%score%d/acc_estimate", pre, i), func() float64 { return m.par })
 		}
+		if p.msMeters != nil {
+			m := &p.msMeters[d]
+			tel.GaugeFunc(pre+"memside/acc_estimate", func() float64 { return m.par })
+		}
 	}
+}
+
+// NoteMemSideSent increments the domain's memory-side PSC: the domain's
+// controller admitted one of its own prefetches into the request buffer.
+func (p *PADC) NoteMemSideSent(domain int) {
+	m := &p.msMeters[domain]
+	m.psc++
+	m.everSent = true
+}
+
+// NoteMemSideUsed increments the domain's memory-side PUC: a demand hit
+// a line a memory-side prefetch filled.
+func (p *PADC) NoteMemSideUsed(domain int) { p.msMeters[domain].puc++ }
+
+// MemSideAccuracyIn returns the domain's memory-side PAR from the last
+// completed interval (1 until the path sends anything).
+func (p *PADC) MemSideAccuracyIn(domain int) float64 { return p.msMeters[domain].par }
+
+// MemSideDropThresholdIn returns the APD age limit for the domain's
+// memory-side prefetches: the same Table 6 ladder the core-side streams
+// use, driven by the tier's aggregate memory-side accuracy. ^uint64(0)
+// when APD is off.
+func (p *PADC) MemSideDropThresholdIn(domain int) uint64 {
+	if !p.cfg.EnableAPD {
+		return ^uint64(0)
+	}
+	return p.ladder(p.msMeters[domain].par)
+}
+
+// MemSideAllowIn reports whether the domain's memory-side path should
+// keep generating candidates: its measured accuracy is not pinned in the
+// ladder's bottom band. This is the generation-side gate; buffered
+// prefetches additionally age against MemSideDropThresholdIn.
+func (p *PADC) MemSideAllowIn(domain int) bool {
+	if !p.cfg.EnableAPD {
+		return true
+	}
+	return p.msMeters[domain].par >= p.cfg.DropLadder[0].AccuracyBelow
 }
 
 // NoteSent increments the (domain, core) PSC: a prefetch targeting that
@@ -208,6 +271,17 @@ func (p *PADC) EndInterval() {
 			}
 		}
 	}
+	// The per-domain memory-side meters roll over on the same interval.
+	for d := range p.msMeters {
+		m := &p.msMeters[d]
+		if m.psc > 0 {
+			m.par = float64(m.puc) / float64(m.psc)
+			if m.par > 1 {
+				m.par = 1
+			}
+		}
+		m.psc, m.puc = 0, 0
+	}
 }
 
 // AccuracyIn returns the (domain, core) PAR from the last completed
@@ -240,7 +314,11 @@ func (p *PADC) DropThresholdIn(domain, core int) uint64 {
 	if !p.cfg.EnableAPD {
 		return ^uint64(0)
 	}
-	par := p.meters[domain][core].par
+	return p.ladder(p.meters[domain][core].par)
+}
+
+// ladder maps a measured accuracy onto the Table 6 drop threshold.
+func (p *PADC) ladder(par float64) uint64 {
 	for _, l := range p.cfg.DropLadder {
 		if par < l.AccuracyBelow {
 			return l.Cycles

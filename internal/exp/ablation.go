@@ -10,6 +10,7 @@ import (
 	"padc/internal/sim"
 	"padc/internal/stats"
 	"padc/internal/topology"
+	"padc/internal/workload"
 )
 
 // AblationDropThreshold compares APD's dynamic 4-level drop-threshold
@@ -284,6 +285,96 @@ func AblationTopology(sc Scale) *Table {
 				fmt.Sprintf("%.1f", a.bus/n/1000),
 				farShare, farAcc)
 		}
+	}
+	return t
+}
+
+// AblationMemSide exercises the memory-side prefetch subsystem along its
+// two control loops. First the DSPatch bias selector: on an idle bus
+// (4 channels) bandwidth headroom stays high and the coverage-biased
+// pattern (CovP) should dominate trigger selections, while a saturated
+// single channel pushes headroom under the flip point and the
+// accuracy-biased pattern (AccP) takes over. Second the PADC gate: on
+// low-accuracy mixes the memory-side path's measured accuracy pins in
+// the drop ladder's bottom band and APD's generation gate should
+// suppress candidates that an APD-less configuration would have issued.
+// Throughput is the plain IPC sum (no alone baselines: the channel axis
+// changes the machine, not just the policy).
+func AblationMemSide(sc Scale) *Table {
+	// DSPatch trains its signature table on page-buffer turnover, which
+	// needs more region traffic than the quick scale generates.
+	if sc.Insts < 400_000 {
+		sc.Insts = 400_000
+	}
+	mixes := []struct {
+		name  string
+		names []string
+	}{
+		// Long streams: dense spatial footprints, accurate prefetches.
+		{"streams", []string{"swim", "libquantum", "bwaves", "leslie3d"}},
+		// Pointer chases and bursts: sparse footprints, low accuracy.
+		{"irregular", []string{"art", "omnetpp", "xalancbmk", "mcf"}},
+	}
+	chans := []int{4, 1}
+	pols := []struct {
+		name string
+		apd  bool
+	}{
+		{"aps+memside", false},
+		{"padc+memside", true},
+	}
+
+	type cell struct {
+		thru float64
+		ds   stats.DSPatchStats
+		ms   stats.MemSideStats
+	}
+	grid := make([]cell, len(mixes)*len(chans)*len(pols))
+	parallel(len(grid), func(i int) {
+		mi := i / (len(chans) * len(pols))
+		ci := i / len(pols) % len(chans)
+		pi := i % len(pols)
+		cfg := baseConfig(4, sc)
+		cfg.DRAM.Channels = chans[ci]
+		cfg.Policy = memctrl.APS
+		cfg.PADC.EnableAPD = pols[pi].apd
+		cfg.Prefetcher = sim.PFDSPatch
+		cfg.MemSide = true
+		for _, n := range mixes[mi].names {
+			cfg.Workload = append(cfg.Workload, workload.MustByName(n))
+		}
+		res := runOne(cfg)
+		c := cell{}
+		for _, pc := range res.PerCore {
+			c.thru += pc.IPC()
+		}
+		if res.DSPatch != nil {
+			c.ds = *res.DSPatch
+		}
+		if res.MemSide != nil {
+			c.ms = *res.MemSide
+		}
+		grid[i] = c
+	})
+
+	t := &Table{
+		Title: "Ablation: memory-side prefetching — DSPatch bias x PADC gating (4-core)",
+		Header: []string{"mix", "chans", "policy", "thruput", "headroom",
+			"covp", "accp", "ms-issued", "ms-used", "ms-acc", "ms-gated"},
+	}
+	for i, c := range grid {
+		mi := i / (len(chans) * len(pols))
+		ci := i / len(pols) % len(chans)
+		pi := i % len(pols)
+		t.Add(mixes[mi].name, fmt.Sprintf("%d", chans[ci]), pols[pi].name,
+			fmt.Sprintf("%.3f", c.thru),
+			fmt.Sprintf("%.2f", c.ds.Headroom),
+			fmt.Sprintf("%d", c.ds.CovPSelected),
+			fmt.Sprintf("%d", c.ds.AccPSelected),
+			fmt.Sprintf("%d", c.ms.Issued),
+			fmt.Sprintf("%d", c.ms.Used),
+			fmt.Sprintf("%.1f%%", c.ms.ACC()*100),
+			fmt.Sprintf("%d", c.ms.GateClosed))
 	}
 	return t
 }

@@ -1,6 +1,7 @@
 package exp
 
 import (
+	"fmt"
 	"strings"
 	"testing"
 
@@ -122,6 +123,50 @@ func TestAblationRefreshShape(t *testing.T) {
 		}
 		if blocked == "0.0" {
 			t.Errorf("refresh-on row blocked no request cycles: %v", row)
+		}
+	}
+}
+
+func TestAblationMemSideShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation sweep")
+	}
+	tab := AblationMemSide(Scale{}) // the runner floors Insts itself
+	t.Logf("\n%s", tab)
+	if len(tab.Rows) != 8 { // 2 mixes x 2 channel counts x 2 policies
+		t.Fatalf("want 8 rows, got %d", len(tab.Rows))
+	}
+	atoi := func(s string) int {
+		n := 0
+		fmt.Sscanf(s, "%d", &n)
+		return n
+	}
+	for _, row := range tab.Rows {
+		mix, chans, pol := row[0], row[1], row[2]
+		covp, accp := atoi(row[5]), atoi(row[6])
+		gated := atoi(row[10])
+		// Bias selector: CovP on the idle 4-channel bus; AccP on the
+		// saturated single channel, but only where the pressure persists —
+		// on the irregular mix CovP can't earn the accuracy promotion, and
+		// without APD nothing sheds the memory-side traffic keeping the bus
+		// busy. (With APD the gate frees bandwidth, headroom recovers, and
+		// the selector legitimately drifts back toward coverage.)
+		if chans == "4" && covp <= accp {
+			t.Errorf("%s/%sch/%s: idle bus should favor CovP (covp=%d accp=%d)", mix, chans, pol, covp, accp)
+		}
+		if mix == "irregular" && chans == "1" && pol == "aps+memside" && accp <= covp {
+			t.Errorf("%s/%sch/%s: saturated bus should favor AccP (covp=%d accp=%d)", mix, chans, pol, covp, accp)
+		}
+		// PADC gate: only APD configurations may gate generation, and on
+		// the low-accuracy mix they must.
+		if pol == "aps+memside" && gated != 0 {
+			t.Errorf("%s/%sch/%s: gate closed without APD (%d)", mix, chans, pol, gated)
+		}
+		if pol == "padc+memside" && mix == "irregular" && gated == 0 {
+			t.Errorf("%s/%sch/%s: low-accuracy mix never tripped the APD gate", mix, chans, pol)
+		}
+		if atoi(row[7]) == 0 {
+			t.Errorf("%s/%sch/%s: memory-side path issued nothing", mix, chans, pol)
 		}
 	}
 }

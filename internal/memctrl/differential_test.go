@@ -228,11 +228,11 @@ func (c *legacyController) legacyMoreRowWork(r *Request, skip int) bool {
 	return false
 }
 
-func (c *legacyController) dropExpired(now uint64, threshold func(core int) uint64) []*Request {
+func (c *legacyController) dropExpired(now uint64, threshold func(r *Request) uint64) []*Request {
 	var dropped []*Request
 	keep := c.queue[:0]
 	for _, r := range c.queue {
-		if r.Prefetch && r.Age(now) > threshold(r.Core) {
+		if r.Prefetch && r.Age(now) > threshold(r) {
 			dropped = append(dropped, r)
 			continue
 		}
@@ -306,7 +306,7 @@ func runDifferential(t *testing.T, pol Policy, seed int64, banks int, closedRow 
 	cur := New(pol, dram.NewChannel(cfg), 32, state)
 
 	rng := rand.New(rand.NewSource(seed))
-	threshold := func(core int) uint64 { return uint64(20 + 10*core) }
+	threshold := func(r *Request) uint64 { return uint64(20 + 10*r.Core) }
 	var lineCtr uint64
 	type prefRef struct {
 		core int

@@ -79,7 +79,7 @@ func TestIndexCountConservation(t *testing.T) {
 		line uint64
 	}
 	var prefs []pr
-	threshold := func(core int) uint64 { return 25 }
+	threshold := func(*Request) uint64 { return 25 }
 
 	for now := uint64(1); now <= 800; now++ {
 		for n := rng.Intn(3); n > 0; n-- {

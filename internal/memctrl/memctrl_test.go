@@ -173,7 +173,7 @@ func TestDropExpired(t *testing.T) {
 	c.Enqueue(old)
 	c.Enqueue(young)
 	c.Enqueue(dem)
-	dropped := c.DropExpired(1000, func(int) uint64 { return 100 })
+	dropped := c.DropExpired(1000, func(*Request) uint64 { return 100 })
 	if len(dropped) != 1 || dropped[0] != old {
 		t.Fatalf("should drop exactly the old prefetch, got %v", dropped)
 	}
@@ -203,7 +203,7 @@ func TestAgeClampsBeforeArrival(t *testing.T) {
 	// treat the request as ancient.
 	c := New(APS, oneBank(), 16, fixedState{critical: map[int]bool{}})
 	c.Enqueue(r)
-	if dropped := c.DropExpired(50, func(int) uint64 { return 100 }); len(dropped) != 0 {
+	if dropped := c.DropExpired(50, func(*Request) uint64 { return 100 }); len(dropped) != 0 {
 		t.Fatalf("drop scan before arrival dropped %d requests", len(dropped))
 	}
 }
@@ -222,7 +222,7 @@ func TestDropExpiredSkipsInflightAndDemands(t *testing.T) {
 	dem := req(0, 2, 6, false)
 	dem.Arrival = 0
 	c.Enqueue(dem)
-	dropped := c.DropExpired(1_000_000, func(int) uint64 { return 1 })
+	dropped := c.DropExpired(1_000_000, func(*Request) uint64 { return 1 })
 	if len(dropped) != 0 {
 		t.Fatalf("dropped %d requests; in-flight prefetches and demands must survive", len(dropped))
 	}
@@ -237,8 +237,8 @@ func TestDropExpiredRespectsPerCoreThresholds(t *testing.T) {
 	accurate := req(1, 2, 6, true)   // core 1: generous threshold
 	c.Enqueue(inaccurate)
 	c.Enqueue(accurate)
-	thr := func(core int) uint64 {
-		if core == 0 {
+	thr := func(r *Request) uint64 {
+		if r.Core == 0 {
 			return 100
 		}
 		return 100_000
@@ -263,8 +263,8 @@ func TestDropExpiredEmitsOneEventPerDrop(t *testing.T) {
 	survivor.Arrival = 999
 	c.Enqueue(survivor)
 
-	dropped := c.DropExpired(1_000, func(core int) uint64 {
-		if core == 0 {
+	dropped := c.DropExpired(1_000, func(r *Request) uint64 {
+		if r.Core == 0 {
 			return 10
 		}
 		return 100_000

@@ -1,0 +1,192 @@
+package memsidepf
+
+import (
+	"math/rand"
+	"testing"
+
+	"padc/internal/dram"
+)
+
+func addr(row, col uint64) dram.Address {
+	return dram.Address{Channel: 0, Bank: 2, Row: row, Col: col}
+}
+
+func TestTrainGeneratesSameRowNeighbors(t *testing.T) {
+	e := New(Config{}, 64)
+	e.Train(1, 100, addr(5, 0), 10)
+	if e.Pending() != 4 {
+		t.Fatalf("degree-4 trigger should queue 4 candidates, got %d", e.Pending())
+	}
+	if e.Generated != 4 || e.Enqueued != 4 {
+		t.Fatalf("Generated=%d Enqueued=%d, want 4/4", e.Generated, e.Enqueued)
+	}
+	// Every candidate is the trigger's address with the column advanced.
+	for i, c := range e.list {
+		want := Candidate{Core: 1, Line: 100 + uint64(i+1), Addr: addr(5, uint64(i+1)), Born: 10}
+		if c != want {
+			t.Fatalf("candidate %d = %+v, want %+v", i, c, want)
+		}
+	}
+}
+
+func TestTrainStopsAtRowBoundary(t *testing.T) {
+	e := New(Config{}, 64)
+	e.Train(0, 100, addr(5, 62), 0)
+	if e.Pending() != 1 {
+		t.Fatalf("trigger at column 62 of 64 leaves one neighbor, got %d", e.Pending())
+	}
+	e2 := New(Config{}, 64)
+	e2.Train(0, 100, addr(5, 63), 0)
+	if e2.Pending() != 0 {
+		t.Fatalf("trigger at the last column must generate nothing, got %d", e2.Pending())
+	}
+}
+
+func TestTrainDedupesAndFilters(t *testing.T) {
+	e := New(Config{}, 64)
+	e.Train(0, 100, addr(5, 0), 0)
+	e.Train(0, 100, addr(5, 0), 1) // same trigger: all candidates already queued
+	if e.Pending() != 4 || e.Enqueued != 4 {
+		t.Fatalf("duplicate trigger must not re-enqueue: pending=%d enqueued=%d", e.Pending(), e.Enqueued)
+	}
+
+	e2 := New(Config{}, 64)
+	e2.SetFilter(func(core int, line uint64) bool { return line%2 == 0 })
+	e2.Train(3, 100, addr(5, 0), 0)
+	if e2.Pending() != 2 || e2.Filtered != 2 {
+		t.Fatalf("filter should reject the even lines: pending=%d filtered=%d", e2.Pending(), e2.Filtered)
+	}
+}
+
+func TestGateSuppressesGeneration(t *testing.T) {
+	open := true
+	e := New(Config{}, 64)
+	e.SetGate(func() bool { return open })
+	e.Train(0, 100, addr(5, 0), 0)
+	open = false
+	e.Train(0, 200, addr(6, 0), 0)
+	if e.Pending() != 4 || e.GateClosed != 1 {
+		t.Fatalf("closed gate must suppress the second trigger: pending=%d gateClosed=%d",
+			e.Pending(), e.GateClosed)
+	}
+}
+
+func TestOverflowEvictsOldest(t *testing.T) {
+	e := New(Config{ListSize: 4}, 64)
+	e.Train(0, 100, addr(5, 0), 0) // fills the list with lines 101..104
+	e.Train(0, 200, addr(6, 0), 1) // four more: the first four must be shed
+	if e.Pending() != 4 || e.DroppedOverflow != 4 {
+		t.Fatalf("pending=%d droppedOverflow=%d, want 4/4", e.Pending(), e.DroppedOverflow)
+	}
+	for _, c := range e.list {
+		if c.Line < 201 || c.Line > 204 {
+			t.Fatalf("stale line %d survived overflow", c.Line)
+		}
+	}
+	if len(e.have) != 4 {
+		t.Fatalf("dedupe index out of sync after overflow: %d entries", len(e.have))
+	}
+}
+
+func TestTakeHonorsAcceptAndStaleness(t *testing.T) {
+	e := New(Config{MaxAge: 100}, 64)
+	e.Train(0, 100, addr(5, 0), 0)
+	e.Train(0, 200, addr(9, 0), 50)
+
+	// Only the second trigger's bank row is acceptable.
+	c, ok := e.Take(60, func(a dram.Address) bool { return a.Row == 9 })
+	if !ok || c.Line != 201 {
+		t.Fatalf("Take skipped to the acceptable row: ok=%v line=%d", ok, c.Line)
+	}
+	// Past the first trigger's MaxAge, its candidates are shed in the scan.
+	c, ok = e.Take(120, func(a dram.Address) bool { return true })
+	if !ok || c.Line != 202 {
+		t.Fatalf("stale candidates must be skipped: ok=%v line=%d", ok, c.Line)
+	}
+	if e.DroppedStale != 4 {
+		t.Fatalf("DroppedStale = %d, want the 4 born-at-0 leftovers", e.DroppedStale)
+	}
+	if _, ok := e.Take(120, func(a dram.Address) bool { return false }); ok {
+		t.Fatal("no acceptable candidate must return ok=false")
+	}
+}
+
+func TestPressureDropsWholeList(t *testing.T) {
+	e := New(Config{}, 64)
+	e.Train(0, 100, addr(5, 0), 0)
+	if !e.PressureAt(33, 64) || e.PressureAt(32, 64) {
+		t.Fatal("PressureAt must trip strictly above half the buffer")
+	}
+	if n := e.DropPressure(); n != 4 || e.Pending() != 0 || len(e.have) != 0 {
+		t.Fatalf("DropPressure shed %d, pending=%d have=%d", n, e.Pending(), len(e.have))
+	}
+	// The list accepts the same lines again after the drop.
+	e.Train(0, 100, addr(5, 0), 1)
+	if e.Pending() != 4 {
+		t.Fatalf("list must refill after a pressure drop, got %d", e.Pending())
+	}
+}
+
+// TestAccountingPartition checks the pipeline identity on a random
+// workload: every admitted candidate is issued, dropped, or still
+// pending, and the dedupe index always mirrors the list.
+func TestAccountingPartition(t *testing.T) {
+	e := New(Config{ListSize: 16, MaxAge: 50}, 64)
+	r := rand.New(rand.NewSource(3))
+	now := uint64(0)
+	for i := 0; i < 5000; i++ {
+		now += uint64(r.Intn(20))
+		switch r.Intn(4) {
+		case 0, 1:
+			e.Train(r.Intn(4), uint64(r.Intn(4096)), addr(uint64(r.Intn(8)), uint64(r.Intn(64))), now)
+		case 2:
+			e.Take(now, func(a dram.Address) bool { return a.Bank == 2 && r.Intn(2) == 0 })
+		case 3:
+			if r.Intn(8) == 0 {
+				e.DropPressure()
+			}
+		}
+		if len(e.have) > e.Pending() {
+			t.Fatalf("step %d: dedupe index larger than list", i)
+		}
+	}
+	acct := e.Issued + e.DroppedOverflow + e.DroppedStale + e.DroppedPressure + uint64(e.Pending())
+	if acct != e.Enqueued {
+		t.Fatalf("admitted-candidate partition broken: issued+dropped+pending=%d, enqueued=%d",
+			acct, e.Enqueued)
+	}
+	count := 0
+	for _, c := range e.list {
+		if e.have[c.Line] <= 0 {
+			t.Fatalf("listed line %d missing from dedupe index", c.Line)
+		}
+		count++
+	}
+	if count != e.Pending() {
+		t.Fatal("list/index mismatch")
+	}
+}
+
+func BenchmarkMemSidePF(b *testing.B) {
+	e := New(Config{}, 64)
+	e.SetGate(func() bool { return true })
+	e.SetFilter(func(core int, line uint64) bool { return line%7 == 0 })
+	r := rand.New(rand.NewSource(1))
+	rows := make([]uint64, 1024)
+	cols := make([]uint64, 1024)
+	lines := make([]uint64, 1024)
+	for i := range rows {
+		rows[i] = uint64(r.Intn(64))
+		cols[i] = uint64(r.Intn(64))
+		lines[i] = rows[i]*64 + cols[i]
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		j := i % len(rows)
+		e.Train(j&3, lines[j], addr(rows[j], cols[j]), uint64(i))
+		if i%4 == 3 {
+			e.Take(uint64(i), func(a dram.Address) bool { return a.Row&1 == 0 })
+		}
+	}
+}

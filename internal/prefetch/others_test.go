@@ -202,10 +202,13 @@ func TestFDPPollutionThrottles(t *testing.T) {
 
 func TestBudgetNeverExceeded(t *testing.T) {
 	mk := map[string]func() Prefetcher{
-		"stream": func() Prefetcher { return NewStream(StreamConfig{}) },
-		"stride": func() Prefetcher { return NewStride(StrideConfig{}) },
-		"cdc":    func() Prefetcher { return NewCDC(CDCConfig{}) },
-		"markov": func() Prefetcher { return NewMarkov(MarkovConfig{}) },
+		"stream":  func() Prefetcher { return NewStream(StreamConfig{}) },
+		"stride":  func() Prefetcher { return NewStride(StrideConfig{}) },
+		"cdc":     func() Prefetcher { return NewCDC(CDCConfig{}) },
+		"markov":  func() Prefetcher { return NewMarkov(MarkovConfig{}) },
+		"ddpf":    func() Prefetcher { return NewDDPF(NewStream(StreamConfig{}), DDPFConfig{}) },
+		"fdp":     func() Prefetcher { return NewFDP(NewStream(StreamConfig{}), FDPConfig{}) },
+		"dspatch": func() Prefetcher { return NewDSPatch(DSPatchConfig{}) },
 	}
 	for name, ctor := range mk {
 		p := ctor()
@@ -217,5 +220,101 @@ func TestBudgetNeverExceeded(t *testing.T) {
 		if err := quick.Check(f, nil); err != nil {
 			t.Errorf("%s violates its budget: %v", name, err)
 		}
+	}
+}
+
+// TestZooEdgeCases sweeps every prefetcher in the zoo through the shared
+// edge cases: a full prefetch queue (budget 0), a single free slot, the
+// degree/budget cap under a large budget, and the zero line address. The
+// properties are engine-independent: output length never exceeds the
+// budget, a full queue emits nothing, one Observe never proposes
+// duplicates, and the trigger line is never its own prefetch.
+func TestZooEdgeCases(t *testing.T) {
+	zoo := []struct {
+		name string
+		mk   func() Prefetcher
+	}{
+		{"stream", func() Prefetcher { return NewStream(StreamConfig{}) }},
+		{"stride", func() Prefetcher { return NewStride(StrideConfig{}) }},
+		{"cdc", func() Prefetcher { return NewCDC(CDCConfig{}) }},
+		{"markov", func() Prefetcher { return NewMarkov(MarkovConfig{}) }},
+		{"ddpf", func() Prefetcher { return NewDDPF(NewStream(StreamConfig{}), DDPFConfig{}) }},
+		{"fdp", func() Prefetcher { return NewFDP(NewStream(StreamConfig{}), FDPConfig{}) }},
+		// A 4-entry page buffer so the 3-stream drill below actually evicts
+		// regions: eviction is what trains DSPatch's signature table.
+		{"dspatch", func() Prefetcher { return NewDSPatch(DSPatchConfig{Pages: 4}) }},
+	}
+	// Enough regular traffic to confirm any engine's pattern detector:
+	// three interleaved unit-stride streams, each crossing four 64-line
+	// regions, replayed twice (Markov needs recurring successors; DSPatch
+	// needs region turnover to train and a warm signature to predict).
+	drill := func(visit func(ev AccessEvent)) {
+		for pass := 0; pass < 2; pass++ {
+			for i := uint64(0); i < 768; i++ {
+				visit(AccessEvent{LineAddr: (i%3)*16384 + i/3, PC: 0x40 + i%3, Miss: true})
+			}
+		}
+	}
+	for _, z := range zoo {
+		z := z
+		t.Run(z.name+"/queue-full", func(t *testing.T) {
+			p := z.mk()
+			drill(func(ev AccessEvent) {
+				if got := p.Observe(ev, 0); len(got) != 0 {
+					t.Fatalf("budget 0 must suppress all prefetches, got %v", got)
+				}
+			})
+		})
+		t.Run(z.name+"/single-slot", func(t *testing.T) {
+			p := z.mk()
+			drill(func(ev AccessEvent) {
+				if got := p.Observe(ev, 1); len(got) > 1 {
+					t.Fatalf("budget 1 exceeded: %v", got)
+				}
+			})
+		})
+		t.Run(z.name+"/degree-cap", func(t *testing.T) {
+			p := z.mk()
+			confirmed := false
+			drill(func(ev AccessEvent) {
+				got := p.Observe(ev, 64)
+				if len(got) > 64 {
+					t.Fatalf("budget 64 exceeded: %d candidates", len(got))
+				}
+				seen := map[uint64]bool{}
+				for _, a := range got {
+					if a == ev.LineAddr {
+						t.Fatalf("prefetcher proposed its own trigger line %d", a)
+					}
+					if seen[a] {
+						t.Fatalf("duplicate candidate %d in one Observe", a)
+					}
+					seen[a] = true
+				}
+				if len(got) > 0 {
+					confirmed = true
+				}
+			})
+			if !confirmed {
+				t.Fatal("regular streams never confirmed a prefetch")
+			}
+		})
+		t.Run(z.name+"/zero-address", func(t *testing.T) {
+			p := z.mk()
+			// Line 0 as trigger, neighbor, and recurring successor: the
+			// engines must treat it as an ordinary line, not a sentinel.
+			for pass := 0; pass < 3; pass++ {
+				for i := uint64(0); i < 8; i++ {
+					got := p.Observe(AccessEvent{LineAddr: i, PC: 0x7, Miss: true}, 8)
+					if len(got) > 8 {
+						t.Fatalf("budget 8 exceeded at line %d: %v", i, got)
+					}
+				}
+				got := p.Observe(AccessEvent{LineAddr: 0, PC: 0x7, Miss: true}, 8)
+				if len(got) > 8 {
+					t.Fatalf("budget 8 exceeded at line 0: %v", got)
+				}
+			}
+		})
 	}
 }

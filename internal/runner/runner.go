@@ -171,6 +171,7 @@ type JobResult struct {
 	Refresh    string   `json:"refresh,omitempty"`  // "" = off
 	Page       string   `json:"page,omitempty"`     // "" = open
 	Topology   string   `json:"topology,omitempty"` // "" = flat
+	MemSide    string   `json:"memside,omitempty"`  // "" = off
 	Mix        string   `json:"mix"`
 	Workloads  []string `json:"workloads"`
 
@@ -425,7 +426,7 @@ func runJob(j Job, verify bool, fo FlightOptions) (out JobResult) {
 		Policy: j.Policy, Prefetcher: j.Prefetcher,
 		Promotion: j.Promotion, Drop: j.Drop,
 		Refresh: j.Refresh, Page: j.Page, Topology: j.Topology,
-		Mix: j.Mix, Workloads: j.Workloads,
+		MemSide: j.MemSide, Mix: j.Mix, Workloads: j.Workloads,
 	}
 	start := time.Now()
 	defer func() {
@@ -499,6 +500,23 @@ func (r *JobResult) fill(res stats.Results) {
 		tel[pre+"spl"] = c.SPL()
 		tel[pre+"acc"] = c.ACC()
 		tel[pre+"cov"] = c.COV()
+	}
+	// Memory-side and DSPatch counters appear only when those features ran,
+	// so artifacts from sweeps that never enable them stay byte-identical.
+	if ms := res.MemSide; ms != nil {
+		tel["memside/generated"] = float64(ms.Generated)
+		tel["memside/issued"] = float64(ms.Issued)
+		tel["memside/serviced"] = float64(ms.Serviced)
+		tel["memside/used"] = float64(ms.Used)
+		tel["memside/dropped_pressure"] = float64(ms.DroppedPressure)
+		tel["memside/dropped_apd"] = float64(ms.Dropped)
+		tel["memside/acc"] = ms.ACC()
+	}
+	if ds := res.DSPatch; ds != nil {
+		tel["dspatch/issued"] = float64(ds.Issued)
+		tel["dspatch/covp_triggers"] = float64(ds.CovPSelected)
+		tel["dspatch/accp_triggers"] = float64(ds.AccPSelected)
+		tel["dspatch/headroom"] = ds.Headroom
 	}
 	// Per-domain counters appear only on multi-tier topologies, so flat
 	// artifacts stay byte-identical to their pre-topology form.

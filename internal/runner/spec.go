@@ -54,8 +54,14 @@ type Spec struct {
 	Policies []string `json:"policies,omitempty"`
 
 	// Prefetchers names the prefetch engines: none, stream, stride, cdc,
-	// markov. Default: stream.
+	// markov, dspatch. Default: stream.
 	Prefetchers []string `json:"prefetchers,omitempty"`
+
+	// MemSide optionally sweeps the DRAM-side prefetch path: "off" (or "")
+	// keeps prefetching core-side only, "on" attaches the memory-side
+	// engine to every controller. Default: off, matching the historical
+	// simulator behavior.
+	MemSide []string `json:"memside,omitempty"`
 
 	// PromotionThresholds optionally sweeps the APS promotion threshold
 	// (paper default 0.85); 0 entries leave the default.
@@ -138,6 +144,7 @@ func (s Spec) withDefaults() Spec {
 	s.Refresh = normalizeAxis(s.Refresh, "off")
 	s.PagePolicies = normalizeAxis(s.PagePolicies, "open")
 	s.Topologies = normalizeAxis(s.Topologies, "flat")
+	s.MemSide = normalizeAxis(s.MemSide, "off")
 	return s
 }
 
@@ -200,6 +207,11 @@ func (s Spec) Validate() error {
 			return fmt.Errorf("runner: %v", err)
 		}
 	}
+	for _, m := range d.MemSide {
+		if _, err := parseMemSide(m); err != nil {
+			return err
+		}
+	}
 	if _, err := sim.ParseKernel(d.Kernel); err != nil {
 		return fmt.Errorf("runner: %v", err)
 	}
@@ -218,7 +230,7 @@ func (s Spec) Validate() error {
 		return fmt.Errorf("runner: spec yields no workload mixes (set workloads or mixes)")
 	}
 	n := len(d.Policies) * len(d.Prefetchers) * len(d.PromotionThresholds) * len(d.DropCycles) *
-		len(d.Refresh) * len(d.PagePolicies) * len(d.Topologies) * nmixes
+		len(d.Refresh) * len(d.PagePolicies) * len(d.Topologies) * len(d.MemSide) * nmixes
 	if n > MaxJobs {
 		return fmt.Errorf("runner: sweep expands to %d jobs, limit %d", n, MaxJobs)
 	}
@@ -239,6 +251,7 @@ type Job struct {
 	Refresh    string  // "" = off
 	Page       string  // "" = open
 	Topology   string  // "" = flat
+	MemSide    string  // "" = off
 	Mix        string  // mix label ("swim+art" or "rnd03")
 	Workloads  []string
 
@@ -298,47 +311,52 @@ func (s Spec) Expand() ([]Job, error) {
 						for _, page := range d.PagePolicies {
 							pagePol, _ := dram.ParsePagePolicy(page)
 							for _, topo := range d.Topologies {
-								for _, mx := range mixes {
-									cfg := sim.Baseline(d.Cores)
-									cfg.TargetInsts = d.Insts
-									cfg.PADC = core.DefaultConfig()
-									cfg.Prefetcher = pfKind
-									mutate(&cfg)
-									if promo > 0 {
-										cfg.PADC.PromotionThreshold = promo
-									}
-									if drop > 0 {
-										cfg.PADC.DropLadder = []core.DropLevel{{AccuracyBelow: 1.01, Cycles: drop}}
-									}
-									cfg.DRAM.Refresh.Mode = rfMode
-									cfg.DRAM.Page = pagePol
-									if topo != "" {
-										// Resolved against the baseline channel
-										// count so the near tier matches flat.
-										t, err := topology.Preset(topo, cfg.DRAM.Channels)
-										if err != nil {
-											return nil, err
+								for _, ms := range d.MemSide {
+									msOn, _ := parseMemSide(ms)
+									for _, mx := range mixes {
+										cfg := sim.Baseline(d.Cores)
+										cfg.TargetInsts = d.Insts
+										cfg.PADC = core.DefaultConfig()
+										cfg.Prefetcher = pfKind
+										mutate(&cfg)
+										if promo > 0 {
+											cfg.PADC.PromotionThreshold = promo
 										}
-										cfg.Topology = &t
+										if drop > 0 {
+											cfg.PADC.DropLadder = []core.DropLevel{{AccuracyBelow: 1.01, Cycles: drop}}
+										}
+										cfg.DRAM.Refresh.Mode = rfMode
+										cfg.DRAM.Page = pagePol
+										if topo != "" {
+											// Resolved against the baseline channel
+											// count so the near tier matches flat.
+											t, err := topology.Preset(topo, cfg.DRAM.Channels)
+											if err != nil {
+												return nil, err
+											}
+											cfg.Topology = &t
+										}
+										cfg.MemSide = msOn
+										cfg.Kernel = kernel
+										cfg.Workload = append([]workload.Profile(nil), mx.profs...)
+										idx := len(jobs)
+										jobs = append(jobs, Job{
+											Index:      idx,
+											Key:        jobKey(pol, pf, promo, drop, rf, page, topo, ms, mx.label),
+											Seed:       splitmix(d.Seed, uint64(idx)|1<<32),
+											Policy:     pol,
+											Prefetcher: pf,
+											Promotion:  promo,
+											Drop:       drop,
+											Refresh:    rf,
+											Page:       page,
+											Topology:   topo,
+											MemSide:    ms,
+											Mix:        mx.label,
+											Workloads:  namesOf(mx.profs),
+											Config:     cfg,
+										})
 									}
-									cfg.Kernel = kernel
-									cfg.Workload = append([]workload.Profile(nil), mx.profs...)
-									idx := len(jobs)
-									jobs = append(jobs, Job{
-										Index:      idx,
-										Key:        jobKey(pol, pf, promo, drop, rf, page, topo, mx.label),
-										Seed:       splitmix(d.Seed, uint64(idx)|1<<32),
-										Policy:     pol,
-										Prefetcher: pf,
-										Promotion:  promo,
-										Drop:       drop,
-										Refresh:    rf,
-										Page:       page,
-										Topology:   topo,
-										Mix:        mx.label,
-										Workloads:  namesOf(mx.profs),
-										Config:     cfg,
-									})
 								}
 							}
 						}
@@ -361,7 +379,7 @@ func namesOf(profs []workload.Profile) []string {
 // jobKey renders the canonical grid coordinates the merge sorts on.
 // Default-valued axes are omitted, so keys (and sort order) from sweeps
 // predating an axis never change.
-func jobKey(pol, pf string, promo float64, drop uint64, rf, page, topo, mix string) string {
+func jobKey(pol, pf string, promo float64, drop uint64, rf, page, topo, ms, mix string) string {
 	parts := []string{"policy=" + pol, "pf=" + pf}
 	if promo > 0 {
 		parts = append(parts, fmt.Sprintf("promo=%.2f", promo))
@@ -377,6 +395,9 @@ func jobKey(pol, pf string, promo float64, drop uint64, rf, page, topo, mix stri
 	}
 	if topo != "" {
 		parts = append(parts, "topo="+topo)
+	}
+	if ms != "" {
+		parts = append(parts, "memside="+ms)
 	}
 	parts = append(parts, "mix="+mix)
 	return strings.Join(parts, "/")
@@ -447,8 +468,22 @@ func prefetcherKind(name string) (sim.PrefetcherKind, error) {
 		return sim.PFCDC, nil
 	case "markov":
 		return sim.PFMarkov, nil
+	case "dspatch":
+		return sim.PFDSPatch, nil
 	default:
 		return 0, fmt.Errorf("runner: unknown prefetcher %q (known: %s)", name, strings.Join(PrefetcherNames(), ", "))
+	}
+}
+
+// parseMemSide maps a memside axis value onto the config switch.
+func parseMemSide(name string) (bool, error) {
+	switch name {
+	case "", "off":
+		return false, nil
+	case "on":
+		return true, nil
+	default:
+		return false, fmt.Errorf("runner: unknown memside value %q (known: off, on)", name)
 	}
 }
 
@@ -461,7 +496,7 @@ func PolicyNames() []string {
 
 // PrefetcherNames returns the accepted Spec.Prefetchers vocabulary, sorted.
 func PrefetcherNames() []string {
-	out := []string{"none", "stream", "stride", "cdc", "markov"}
+	out := []string{"none", "stream", "stride", "cdc", "markov", "dspatch"}
 	sort.Strings(out)
 	return out
 }

@@ -4,6 +4,8 @@ import (
 	"encoding/json"
 	"strings"
 	"testing"
+
+	"padc/internal/sim"
 )
 
 func TestParseSpecDefaults(t *testing.T) {
@@ -300,5 +302,59 @@ func TestRefreshAndPageAxes(t *testing.T) {
 		if _, err := ParseSpec([]byte(in)); err == nil {
 			t.Errorf("%s: spec accepted", name)
 		}
+	}
+}
+
+func TestMemSideAxis(t *testing.T) {
+	spec := Spec{
+		Cores:       2,
+		Workloads:   [][]string{{"swim"}},
+		Policies:    []string{"padc"},
+		Prefetchers: []string{"dspatch"},
+		MemSide:     []string{"off", "on"},
+	}
+	jobs, err := spec.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(jobs) != 2 {
+		t.Fatalf("want off+on = 2 jobs, got %d", len(jobs))
+	}
+	for _, j := range jobs {
+		if j.Config.Prefetcher != sim.PFDSPatch {
+			t.Errorf("%s: dspatch prefetcher not applied", j.Key)
+		}
+		switch j.MemSide {
+		case "":
+			if j.Config.MemSide {
+				t.Errorf("%s: memside enabled for the off axis value", j.Key)
+			}
+			if strings.Contains(j.Key, "memside=") {
+				t.Errorf("default memside leaked into key %q", j.Key)
+			}
+		case "on":
+			if !j.Config.MemSide {
+				t.Errorf("%s: memside not applied", j.Key)
+			}
+			if !strings.Contains(j.Key, "memside=on") {
+				t.Errorf("memside axis missing from key %q", j.Key)
+			}
+		default:
+			t.Errorf("unexpected normalized memside value %q", j.MemSide)
+		}
+	}
+
+	// Explicit "off" and an omitted axis produce identical job keys.
+	plain := Spec{Cores: 2, Workloads: [][]string{{"swim"}}, Policies: []string{"padc"}}
+	spelled := Spec{Cores: 2, Workloads: [][]string{{"swim"}}, Policies: []string{"padc"},
+		MemSide: []string{"off"}}
+	a, _ := plain.Expand()
+	b, _ := spelled.Expand()
+	if a[0].Key != b[0].Key {
+		t.Fatalf("explicit default changed the key: %q vs %q", a[0].Key, b[0].Key)
+	}
+
+	if _, err := ParseSpec([]byte(`{"mixes": 1, "memside": ["sideways"]}`)); err == nil {
+		t.Error("bad memside value accepted")
 	}
 }

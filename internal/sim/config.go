@@ -27,6 +27,7 @@ const (
 	PFStride
 	PFCDC
 	PFMarkov
+	PFDSPatch
 )
 
 // String implements fmt.Stringer.
@@ -42,6 +43,8 @@ func (k PrefetcherKind) String() string {
 		return "cdc"
 	case PFMarkov:
 		return "markov"
+	case PFDSPatch:
+		return "dspatch"
 	default:
 		return fmt.Sprintf("PrefetcherKind(%d)", int(k))
 	}
@@ -146,6 +149,14 @@ type Config struct {
 
 	Prefetcher PrefetcherKind
 	Filter     FilterKind
+
+	// MemSide enables the DROPLET-style memory-side prefetch path: each
+	// controller generates same-row next-line candidates from the demand
+	// stream it admits and drains them into idle row-hit windows, gated
+	// and aged by the tier's PADC memory-side accuracy. Off by default;
+	// a disabled path leaves the machine byte-identical to the
+	// pre-memside simulator.
+	MemSide bool
 
 	Workload []workload.Profile // profile per core; fewer than Cores leaves the rest idle
 

@@ -31,7 +31,8 @@ func FuzzKernelDifferential(f *testing.F) {
 			memctrl.DemandPrefEqual, memctrl.DemandFirst, memctrl.PrefetchFirst,
 			memctrl.APS, memctrl.APSRank,
 		}[int(polSel)%5]
-		cfg.Prefetcher = []PrefetcherKind{PFNone, PFStream, PFStride, PFCDC, PFMarkov}[int(pfSel)%5]
+		cfg.Prefetcher = []PrefetcherKind{PFNone, PFStream, PFStride, PFCDC, PFMarkov, PFDSPatch}[int(pfSel)%6]
+		cfg.MemSide = pfSel&0x40 != 0
 		cfg.PADC.EnableAPD = apd
 		cfg.Core.Runahead = runahead
 		cfg.DRAM.Refresh.Mode = []refresh.Mode{refresh.Off, refresh.PerBank, refresh.AllBank}[int(refSel)%3]

@@ -59,10 +59,11 @@ func randomKernelConfig(r *rand.Rand) Config {
 	}[r.Intn(7)]
 	cfg.Policy, cfg.Rules = pick.p, pick.rules
 
-	cfg.Prefetcher = []PrefetcherKind{PFNone, PFStream, PFStride, PFCDC, PFMarkov}[r.Intn(5)]
+	cfg.Prefetcher = []PrefetcherKind{PFNone, PFStream, PFStride, PFCDC, PFMarkov, PFDSPatch}[r.Intn(6)]
 	if cfg.Prefetcher != PFNone {
 		cfg.Filter = []FilterKind{FilterNone, FilterNone, FilterDDPF, FilterFDP}[r.Intn(4)]
 	}
+	cfg.MemSide = r.Intn(3) == 0
 	cfg.PADC = core.DefaultConfig()
 	cfg.PADC.EnableAPD = r.Intn(2) == 0
 	cfg.PADC.EnableUrgency = r.Intn(2) == 0
@@ -173,9 +174,9 @@ func describeCfg(cfg Config) string {
 	if cfg.Topology != nil {
 		topo = cfg.Topology.Name
 	}
-	return fmt.Sprintf("%s/%v/refresh=%v/page=%v/apd=%v/ra=%v/ch=%d/topo=%s/%v",
+	return fmt.Sprintf("%s/%v/refresh=%v/page=%v/apd=%v/ra=%v/ch=%d/topo=%s/ms=%v/%v",
 		pol, cfg.Prefetcher, cfg.DRAM.Refresh.Mode, cfg.DRAM.Page,
-		cfg.PADC.EnableAPD, cfg.Core.Runahead, cfg.DRAM.Channels, topo, names)
+		cfg.PADC.EnableAPD, cfg.Core.Runahead, cfg.DRAM.Channels, topo, cfg.MemSide, names)
 }
 
 // TestKernelDifferentialTwoDomain pins the lockstep property on the
@@ -224,6 +225,50 @@ func TestKernelDifferentialTwoDomain(t *testing.T) {
 	}
 	t.Logf("two-domain: %d cycles, near=%d far=%d serviced, %d skips covering %d cycles",
 		resE.Cycles, resE.Domains[0].Serviced, resE.Domains[1].Serviced, skips, skipped)
+}
+
+// TestKernelDifferentialMemSide pins the lockstep property on the
+// memory-side prefetch path: controllers inject their own requests from
+// inside Tick, so the event kernel must never skip across a cycle where
+// a candidate could enter an idle row-hit window. Both kernels must
+// agree on the full Results including the MemSide and DSPatch blocks,
+// and the path must actually carry traffic.
+func TestKernelDifferentialMemSide(t *testing.T) {
+	cfg := quickCfg(2, "swim", "libquantum")
+	cfg.TargetInsts = 30_000
+	cfg.Policy = memctrl.APS
+	cfg.PADC.EnableAPD = true
+	cfg.Prefetcher = PFDSPatch
+	cfg.MemSide = true
+
+	resS, errS, _ := runKernel(t, cfg, KernelStepped)
+	resE, errE, sysE := runKernel(t, cfg, KernelEvents)
+	if errS != errE {
+		t.Fatalf("error mismatch:\n  stepped: %q\n  events:  %q", errS, errE)
+	}
+	if !reflect.DeepEqual(resS, resE) {
+		t.Fatalf("results diverge with memside on:\n  stepped: %+v\n  events:  %+v", resS, resE)
+	}
+	ms := resE.MemSide
+	if ms == nil {
+		t.Fatal("MemSide stats missing with the path enabled")
+	}
+	if ms.Generated == 0 || ms.Enqueued == 0 {
+		t.Fatalf("memory-side path generated no candidates: %+v", ms)
+	}
+	if ms.Issued == 0 {
+		t.Fatalf("no memory-side prefetch ever found an idle row-hit window: %+v", ms)
+	}
+	if got := ms.Serviced + ms.Dropped; got > ms.Issued {
+		t.Fatalf("memside conservation broken: serviced %d + dropped %d > issued %d",
+			ms.Serviced, ms.Dropped, ms.Issued)
+	}
+	if resE.DSPatch == nil {
+		t.Fatal("DSPatch stats missing with the dspatch prefetcher")
+	}
+	skips, skipped := sysE.SkipStats()
+	t.Logf("memside: %d cycles, %d skips covering %d cycles; memside %+v; dspatch %+v",
+		resE.Cycles, skips, skipped, ms, resE.DSPatch)
 }
 
 // TestKernelTelemetryRollups runs both kernels with the full observability

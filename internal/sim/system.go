@@ -9,6 +9,7 @@ import (
 	"padc/internal/dram"
 	"padc/internal/dram/refresh"
 	"padc/internal/memctrl"
+	"padc/internal/memctrl/memsidepf"
 	"padc/internal/prefetch"
 	"padc/internal/stats"
 	"padc/internal/telemetry"
@@ -38,9 +39,10 @@ type coreCtx struct {
 	l2   *cache.Cache // private or the shared LLC
 	mshr *cache.MSHR  // ditto
 
-	pf   prefetch.Prefetcher
-	fdp  *prefetch.FDP  // non-nil when Filter == FilterFDP
-	ddpf *prefetch.DDPF // non-nil when Filter == FilterDDPF
+	pf      prefetch.Prefetcher
+	fdp     *prefetch.FDP    // non-nil when Filter == FilterFDP
+	ddpf    *prefetch.DDPF   // non-nil when Filter == FilterDDPF
+	dspatch *prefetch.DSPatch // non-nil when Prefetcher == PFDSPatch
 
 	// Running counters (snapshotted into frozen when the core reaches its
 	// instruction target).
@@ -87,7 +89,22 @@ type System struct {
 	chanOff   []int
 	ctrlDom   []int
 	ctrlLink  []uint64
-	domThresh []func(core int) uint64 // APD threshold bound per domain
+	domThresh []func(r *memctrl.Request) uint64 // APD threshold bound per domain
+
+	// Memory-side prefetch bookkeeping (nil map when the path is off):
+	// lines a memory-side prefetch filled, awaiting their first demand
+	// use, keyed by global line address with the filling domain as value.
+	memsideLines map[uint64]int
+	msServiced   uint64
+	msUsed       uint64
+	msDropped    uint64
+
+	// Bandwidth-headroom tracking, enabled with dspatch or memside: per
+	// global channel, 1 - bus-busy fraction over the last accuracy
+	// interval (nil slices otherwise).
+	headroom     []float64
+	busPrev      []uint64
+	lastInterval uint64
 
 	// Per-domain service accounting (reported only on multi-domain runs).
 	domServiced []uint64
@@ -177,10 +194,15 @@ func New(cfg Config) (*System, error) {
 	s.domRowHits = make([]uint64, len(topo.Domains))
 	s.domPrefSent = make([]uint64, len(topo.Domains))
 	s.domPrefUsed = make([]uint64, len(topo.Domains))
-	s.domThresh = make([]func(core int) uint64, len(topo.Domains))
+	s.domThresh = make([]func(r *memctrl.Request) uint64, len(topo.Domains))
 	for d := range s.domThresh {
 		d := d
-		s.domThresh[d] = func(core int) uint64 { return s.padc.DropThresholdIn(d, core) }
+		s.domThresh[d] = func(r *memctrl.Request) uint64 {
+			if r.MemSide {
+				return s.padc.MemSideDropThresholdIn(d)
+			}
+			return s.padc.DropThresholdIn(d, r.Core)
+		}
 	}
 	stack, err := memctrl.ResolveStack(cfg.Policy, cfg.Rules)
 	if err != nil {
@@ -254,6 +276,9 @@ func New(cfg Config) (*System, error) {
 			cc.mshr = cache.NewMSHR(cfg.MSHR)
 		}
 		cc.pf = buildPrefetcher(cfg.Prefetcher)
+		if ds, ok := cc.pf.(*prefetch.DSPatch); ok {
+			cc.dspatch = ds
+		}
 		switch cfg.Filter {
 		case FilterDDPF:
 			cc.ddpf = prefetch.NewDDPF(cc.pf, prefetch.DDPFConfig{})
@@ -269,6 +294,42 @@ func New(cfg Config) (*System, error) {
 		s.cores[i] = cc
 	}
 	s.lc = cfg.Lifecycle
+
+	if cfg.MemSide {
+		// Arm the per-tier memory-side accuracy meters before Instrument
+		// so their gauges register, and give every controller its own
+		// candidate engine: the gate consults the tier's PADC memory-side
+		// accuracy, the filter dedupes against the originating core's
+		// cache and outstanding misses.
+		s.padc.TrackMemSide()
+		s.memsideLines = make(map[uint64]int)
+		for gi, ctrl := range s.ctrls {
+			d := s.ctrlDom[gi]
+			eng := memsidepf.New(memsidepf.Config{}, s.domCfg[d].LinesPerRow())
+			eng.SetGate(func() bool { return s.padc.MemSideAllowIn(d) })
+			eng.SetFilter(func(c int, line uint64) bool {
+				cs := s.cores[c]
+				return cs.l2.Contains(line) || cs.mshr.Lookup(line) != nil
+			})
+			ctrl.AttachMemSide(eng)
+		}
+	}
+	if cfg.MemSide || cfg.Prefetcher == PFDSPatch {
+		s.headroom = make([]float64, nchan)
+		for i := range s.headroom {
+			s.headroom[i] = 1 // cold machine: bus idle
+		}
+		s.busPrev = make([]uint64, nchan)
+		// The flight recorder's bus_busy column rides the same gate, so
+		// heatmaps from runs without the prefetch subsystem keep their
+		// historical byte-identical format.
+		if cfg.Flight != nil {
+			for i := range s.chans {
+				ch := s.chans[i]
+				cfg.Flight.AttachBus(i, func() uint64 { return ch.BusBusyCycles })
+			}
+		}
+	}
 
 	if cfg.TrackServiceHist {
 		s.histUseful = make([]uint64, histBuckets)
@@ -301,6 +362,20 @@ func (s *System) instrument(tel *telemetry.Telemetry) {
 	})
 	// Arrival-to-fill service time, the Figure 4(a) axis.
 	s.svcHist = tel.Histogram("dram/service_cycles", []uint64{200, 400, 800, 1600, 3200})
+
+	// Bandwidth-headroom and memory-side series exist only when those
+	// paths are on, keeping the baseline metric namespace unchanged.
+	if s.headroom != nil {
+		for i := range s.ctrls {
+			i := i
+			tel.GaugeFunc(fmt.Sprintf("memctrl%d/bw_headroom", i), func() float64 { return s.headroom[i] })
+		}
+	}
+	if s.memsideLines != nil {
+		tel.CounterFunc("sim/memside_serviced", func() uint64 { return s.msServiced })
+		tel.CounterFunc("sim/memside_used", func() uint64 { return s.msUsed })
+		tel.CounterFunc("sim/memside_dropped", func() uint64 { return s.msDropped })
+	}
 
 	// Per-domain series exist only on multi-tier machines, so flat runs
 	// keep the exact pre-topology metric namespace.
@@ -353,6 +428,8 @@ func buildPrefetcher(kind PrefetcherKind) prefetch.Prefetcher {
 		return prefetch.NewCDC(prefetch.CDCConfig{})
 	case PFMarkov:
 		return prefetch.NewMarkov(prefetch.MarkovConfig{})
+	case PFDSPatch:
+		return prefetch.NewDSPatch(prefetch.DSPatchConfig{})
 	default:
 		return prefetch.Nop{}
 	}
@@ -413,7 +490,15 @@ func (s *System) Load(coreID int, seq, line, pc uint64, runahead bool, now uint6
 			cs.l2Demand++
 		}
 		if info.WasPrefetch {
-			s.noteUseful(cs, g, info.FillRowHit, false)
+			// A memory-side fill's consumption credits the tier's meter,
+			// not any core's: the controller sent it, not a core engine.
+			if d, ok := s.memsideLines[g]; ok {
+				delete(s.memsideLines, g)
+				s.msUsed++
+				s.padc.NoteMemSideUsed(d)
+			} else {
+				s.noteUseful(cs, g, info.FillRowHit, false)
+			}
 		}
 		if cs.l1 != nil {
 			cs.l1.Fill(g, false, false)
@@ -613,6 +698,10 @@ func (s *System) span(r *memctrl.Request, class lifecycle.Class) lifecycle.Span 
 
 // complete retires one serviced DRAM request back into the hierarchy.
 func (s *System) complete(r *memctrl.Request, now uint64) {
+	if r.MemSide {
+		s.completeMemSide(r)
+		return
+	}
 	cs := s.cores[r.Core]
 	s.serviced++
 	d := s.ctrlDom[r.Addr.Channel]
@@ -671,7 +760,11 @@ func (s *System) complete(r *memctrl.Request, now uint64) {
 
 	ev := cs.l2.Fill(r.Line, r.Prefetch, r.IssueHit)
 	if ev.Valid {
-		if ev.WasPrefetch {
+		if _, ms := s.memsideLines[ev.LineAddr]; ms {
+			// An unused memory-side fill aged out of the cache: no core
+			// engine issued it, so no core-side feedback fires.
+			delete(s.memsideLines, ev.LineAddr)
+		} else if ev.WasPrefetch {
 			if cs.ddpf != nil {
 				cs.ddpf.Feedback(ev.LineAddr, false)
 			}
@@ -697,6 +790,67 @@ func (s *System) complete(r *memctrl.Request, now uint64) {
 	}
 }
 
+// completeMemSide retires a serviced memory-side prefetch: a DRAM
+// service and an L2 fill for the originating core, but no MSHR entry
+// and no core-side prefetch conservation — no core ever sent this
+// request, so the core-side PrefSent/Serviced/Inflight identity never
+// sees it. The tier's memory-side meter books the send here, at the
+// request's terminal event, pairing with NoteMemSideUsed on first use.
+func (s *System) completeMemSide(r *memctrl.Request) {
+	cs := s.cores[r.Core]
+	s.serviced++
+	d := s.ctrlDom[r.Addr.Channel]
+	s.domServiced[d]++
+	if r.IssueHit {
+		s.rowHits++
+		s.domRowHits[d]++
+	}
+	s.msServiced++
+	s.padc.NoteMemSideSent(d)
+	if s.tel != nil {
+		s.svcHist.Observe(r.FinishAt - r.Arrival)
+		s.tel.Emit(telemetry.Event{
+			Cycle: r.ServiceAt, Kind: telemetry.EvComplete, Pref: true,
+			Core: int16(r.Core), Chan: int16(r.Addr.Channel), Bank: int16(r.Addr.Bank),
+			Line: r.Line, A: r.FinishAt - r.ServiceAt,
+		})
+	}
+	if s.lc != nil {
+		s.lc.Record(s.span(r, lifecycle.ClassPrefPure))
+	}
+
+	ev := cs.l2.Fill(r.Line, true, r.IssueHit)
+	if ev.Valid {
+		if _, ms := s.memsideLines[ev.LineAddr]; ms {
+			delete(s.memsideLines, ev.LineAddr)
+		} else if ev.WasPrefetch {
+			if cs.ddpf != nil {
+				cs.ddpf.Feedback(ev.LineAddr, false)
+			}
+			if s.pendingUse != nil {
+				if t, ok := s.pendingUse[ev.LineAddr]; ok {
+					s.histUseless[histBucket(t)]++
+					delete(s.pendingUse, ev.LineAddr)
+				}
+			}
+		}
+	}
+	s.memsideLines[r.Line] = d
+
+	// A demand already waiting on this line is satisfied by the fill; a
+	// core-side prefetch entry keeps its own accounting and is left alone
+	// (its request completes against an already-filled line, harmlessly).
+	if e := cs.mshr.Lookup(r.Line); e != nil && !e.Prefetch {
+		if len(e.Waiters) > 0 && cs.l1 != nil {
+			cs.l1.Fill(r.Line, false, false)
+		}
+		for _, w := range e.Waiters {
+			s.cores[w.Core].core.Complete(w.Seq, r.FinishAt)
+		}
+		cs.mshr.Release(r.Line)
+	}
+}
+
 // dropExpired runs the APD scan over every controller, each judged by its
 // own domain's drop thresholds.
 func (s *System) dropExpired(now uint64) {
@@ -704,11 +858,19 @@ func (s *System) dropExpired(now uint64) {
 		if ctrl.Pending() == 0 {
 			continue
 		}
-		for _, r := range ctrl.DropExpired(now, s.domThresh[s.ctrlDom[i]]) {
-			cs := s.cores[r.Core]
-			cs.mshr.Release(r.Line)
-			cs.prefDropped++
-			cs.prefInflight--
+		d := s.ctrlDom[i]
+		for _, r := range ctrl.DropExpired(now, s.domThresh[d]) {
+			if r.MemSide {
+				// No MSHR entry to release and no core-side conservation:
+				// the drop is a terminal event on the tier's own stream.
+				s.msDropped++
+				s.padc.NoteMemSideSent(d)
+			} else {
+				cs := s.cores[r.Core]
+				cs.mshr.Release(r.Line)
+				cs.prefDropped++
+				cs.prefInflight--
+			}
 			if s.lc != nil {
 				s.lc.Record(lifecycle.Span{
 					Enqueue: r.Arrival, Finish: now,
@@ -761,7 +923,7 @@ func (s *System) Run() (stats.Results, error) {
 	s.runMax = cfg.maxCycles()
 	interval := s.padc.IntervalCycles()
 	s.dramEvery = cfg.DRAM.EffectiveTickEvery()
-	s.apdActive = cfg.PADC.EnableAPD && cfg.Prefetcher != PFNone
+	s.apdActive = cfg.PADC.EnableAPD && (cfg.Prefetcher != PFNone || cfg.MemSide)
 	events := cfg.Kernel == KernelEvents
 
 	// The first accuracy samples come early (geometric warm-up) so APS
@@ -830,6 +992,9 @@ func (s *System) Run() (stats.Results, error) {
 		}
 
 		if now >= s.nextInterval {
+			if s.headroom != nil {
+				s.updateHeadroom(now)
+			}
 			s.padc.EndInterval()
 			for _, cs := range s.cores {
 				if cs.fdp != nil {
@@ -894,6 +1059,39 @@ func (s *System) Run() (stats.Results, error) {
 			remaining, s.runMax, cfg.TargetInsts)
 	}
 	return s.results(), nil
+}
+
+// updateHeadroom closes one accuracy interval's bandwidth window: each
+// channel's headroom is 1 minus its bus-busy fraction over the interval,
+// and the machine-wide aggregate feeds every DSPatch selector. Interval
+// boundaries execute identically under both kernels, so the samples —
+// and the bias decisions they drive — are kernel-independent.
+func (s *System) updateHeadroom(now uint64) {
+	window := now - s.lastInterval
+	s.lastInterval = now
+	if window == 0 {
+		return
+	}
+	var busy uint64
+	for i, ch := range s.chans {
+		delta := ch.BusBusyCycles - s.busPrev[i]
+		s.busPrev[i] = ch.BusBusyCycles
+		busy += delta
+		h := 1 - float64(delta)/float64(window)
+		if h < 0 {
+			h = 0
+		}
+		s.headroom[i] = h
+	}
+	agg := 1 - float64(busy)/(float64(window)*float64(len(s.chans)))
+	if agg < 0 {
+		agg = 0
+	}
+	for _, cs := range s.cores {
+		if cs.dspatch != nil {
+			cs.dspatch.SetBandwidthHeadroom(agg)
+		}
+	}
 }
 
 // nextEvent computes the first cycle after now at which any component can
@@ -1011,6 +1209,37 @@ func (s *System) results() stats.Results {
 			}
 			r.Domains[d] = ds
 		}
+	}
+	if s.memsideLines != nil {
+		ms := &stats.MemSideStats{Serviced: s.msServiced, Used: s.msUsed, Dropped: s.msDropped}
+		for _, ctrl := range s.ctrls {
+			if eng := ctrl.MemSide(); eng != nil {
+				ms.Generated += eng.Generated
+				ms.Enqueued += eng.Enqueued
+				ms.Issued += eng.Issued
+				ms.Filtered += eng.Filtered
+				ms.DroppedOverflow += eng.DroppedOverflow
+				ms.DroppedStale += eng.DroppedStale
+				ms.DroppedPressure += eng.DroppedPressure
+				ms.GateClosed += eng.GateClosed
+			}
+		}
+		r.MemSide = ms
+	}
+	for _, cs := range s.cores {
+		if cs.dspatch == nil {
+			continue
+		}
+		if r.DSPatch == nil {
+			r.DSPatch = &stats.DSPatchStats{
+				CovAccuracy: cs.dspatch.CovAccuracy(),
+				AccAccuracy: cs.dspatch.AccAccuracy(),
+				Headroom:    cs.dspatch.BandwidthHeadroom(),
+			}
+		}
+		r.DSPatch.Issued += cs.dspatch.Issued
+		r.DSPatch.CovPSelected += cs.dspatch.CovPSelected
+		r.DSPatch.AccPSelected += cs.dspatch.AccPSelected
 	}
 	if s.histUseful != nil {
 		// Prefetches still pending classification at the end of the run

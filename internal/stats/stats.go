@@ -125,6 +125,50 @@ func (d DomainStats) ACC() float64 {
 	return float64(d.PrefUsed) / float64(d.PrefSent)
 }
 
+// MemSideStats aggregates the memory-side (DRAM-side) prefetch path
+// over every controller: the candidate pipeline (generated → enqueued →
+// issued, with the drop reasons partitioning the rest) and the issued
+// requests' outcomes at the cache (serviced, later consumed, or aged out
+// by APD). Nil on Results when the path is disabled.
+type MemSideStats struct {
+	Generated       uint64 // candidate lines proposed by controllers
+	Enqueued        uint64 // admitted to a candidate list
+	Issued          uint64 // injected into a request buffer (idle row-hit window)
+	Filtered        uint64 // rejected by the cache/MSHR dedupe filter
+	DroppedOverflow uint64 // shed by list overflow
+	DroppedStale    uint64 // aged out of the candidate list
+	DroppedPressure uint64 // shed whole-list under demand pressure
+	GateClosed      uint64 // demand triggers suppressed by the PADC accuracy gate
+
+	Serviced uint64 // issued prefetches DRAM completed
+	Used     uint64 // of those, later consumed by a demand
+	Dropped  uint64 // issued prefetches APD aged out of the buffer
+}
+
+// ACC returns the memory-side stream's measured accuracy: consumed fills
+// over terminal outcomes (serviced + APD-dropped).
+func (m MemSideStats) ACC() float64 {
+	den := float64(m.Serviced + m.Dropped)
+	if den == 0 {
+		return 0
+	}
+	return float64(m.Used) / den
+}
+
+// DSPatchStats summarizes the dual-spatial prefetcher's bias trade-off:
+// how many trigger accesses emitted from the coverage-biased versus the
+// accuracy-biased pattern, each pattern's measured bit accuracy, and the
+// final bandwidth-headroom sample the selector acted on. Nil on Results
+// unless the dspatch prefetcher ran.
+type DSPatchStats struct {
+	Issued       uint64 // prefetch candidates emitted
+	CovPSelected uint64 // triggers served by the coverage-biased pattern
+	AccPSelected uint64 // triggers served by the accuracy-biased pattern
+	CovAccuracy  float64
+	AccAccuracy  float64
+	Headroom     float64 // last bandwidth-headroom sample fed to the selector
+}
+
 // BusTraffic is the system's transferred cache lines by origin.
 type BusTraffic struct {
 	Demand      uint64
@@ -155,6 +199,12 @@ type Results struct {
 	// a flat machine so flat results stay structurally identical to the
 	// pre-topology simulator.
 	Domains []DomainStats
+
+	// MemSide and DSPatch report the memory-side prefetch path and the
+	// dual-spatial prefetcher; both nil when the feature is off, so
+	// baseline results stay structurally identical.
+	MemSide *MemSideStats
+	DSPatch *DSPatchStats
 
 	// Optional traces for Figure 4.
 	ServiceHistUseful  []uint64 // histogram buckets of service time, useful prefetches

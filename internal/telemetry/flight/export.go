@@ -20,9 +20,15 @@ func (r *Recorder) WriteCSV(w io.Writer) error {
 	// domain column appears only then, so flat heatmaps stay byte-identical
 	// to the historical format.
 	labeled := r != nil && len(r.domains) > 0
+	// Likewise the bus_busy column (per-channel bus-busy cycles, the
+	// bandwidth-headroom numerator) appears only when a sampler is attached.
+	busCol := r != nil && r.busAttached
 	bw.WriteString("epoch,start,end,chan,bank,hits,closed,conflicts,opens,closes,demand,pref,refreshes,refresh_blocked")
 	if labeled {
 		bw.WriteString(",domain")
+	}
+	if busCol {
+		bw.WriteString(",bus_busy")
 	}
 	bw.WriteByte('\n')
 	if r == nil {
@@ -45,6 +51,14 @@ func (r *Recorder) WriteCSV(w io.Writer) error {
 				if labeled {
 					bw.WriteByte(',')
 					bw.WriteString(r.domains[ch])
+				}
+				if busCol {
+					bw.WriteByte(',')
+					var busy uint64
+					if ch < len(ep.BusBusy) {
+						busy = ep.BusBusy[ch]
+					}
+					bw.WriteString(strconv.FormatUint(busy, 10))
 				}
 				bw.WriteByte('\n')
 			}

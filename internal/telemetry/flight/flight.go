@@ -78,6 +78,10 @@ type Epoch struct {
 	End      uint64     `json:"end"`
 	Cells    []Cell     `json:"cells"`
 	RuleWins [][]uint64 `json:"rule_wins,omitempty"`
+	// BusBusy holds each channel's data-bus-busy cycles during the epoch
+	// (index = channel), present only when a bus sampler was attached —
+	// 1 − BusBusy[ch]/(End−Start) is the channel's bandwidth headroom.
+	BusBusy []uint64 `json:"bus_busy,omitempty"`
 }
 
 // Options configures a Recorder.
@@ -104,6 +108,13 @@ type ruleSource struct {
 	prev   []uint64
 }
 
+// busSource samples one channel's cumulative bus-busy cycle counter so
+// Rotate can attribute per-epoch bandwidth deltas.
+type busSource struct {
+	sample func() uint64
+	prev   uint64
+}
+
 // Recorder accumulates per-bank cells into the current epoch and, on
 // Rotate, pushes the epoch into a bounded ring. A nil *Recorder is a
 // valid disabled instance: every method no-ops.
@@ -121,6 +132,11 @@ type Recorder struct {
 
 	totals []Cell // lifetime per-bank accumulation (includes evicted epochs)
 	rules  []ruleSource
+	bus    []busSource
+	// busAttached gates the bus-busy epoch column (and the heatmap's
+	// trailing bus_busy column): recorders with no sampler export the
+	// historical format unchanged.
+	busAttached bool
 
 	// domains, when set, labels each channel with its memory-domain name
 	// (multi-tier topologies). Empty on flat machines, keeping their
@@ -168,6 +184,7 @@ func (r *Recorder) Configure(channels, banks int) {
 	r.cur = Epoch{Cells: make([]Cell, channels*banks)}
 	r.totals = make([]Cell, channels*banks)
 	r.rules = make([]ruleSource, channels)
+	r.bus = make([]busSource, channels)
 }
 
 // LabelDomains tags each channel with its memory-domain name (index =
@@ -203,6 +220,17 @@ func (r *Recorder) AttachRules(ch int, names []string, sample func() []uint64) {
 		sample: sample,
 		prev:   make([]uint64, len(names)),
 	}
+}
+
+// AttachBus registers a channel's bandwidth sampler: sample returns the
+// channel's cumulative data-bus-busy cycles. Rotate stores per-epoch
+// deltas, from which exporters derive the bandwidth-headroom gauge.
+func (r *Recorder) AttachBus(ch int, sample func() uint64) {
+	if r == nil || ch < 0 || ch >= len(r.bus) || sample == nil {
+		return
+	}
+	r.bus[ch] = busSource{sample: sample}
+	r.busAttached = true
 }
 
 func (r *Recorder) cell(ch, bank int) *Cell {
@@ -313,6 +341,21 @@ func (r *Recorder) Rotate(now uint64) {
 		}
 		slot.RuleWins = append(slot.RuleWins, delta)
 	}
+	slot.BusBusy = slot.BusBusy[:0]
+	if r.busAttached {
+		for ch := range r.bus {
+			src := &r.bus[ch]
+			var delta uint64
+			if src.sample != nil {
+				cum := src.sample()
+				delta = cum - src.prev
+				src.prev = cum
+			}
+			slot.BusBusy = append(slot.BusBusy, delta)
+		}
+	} else {
+		slot.BusBusy = nil
+	}
 	for i := range r.cur.Cells {
 		r.totals[i].accumulate(r.cur.Cells[i])
 		r.cur.Cells[i].zero()
@@ -393,6 +436,9 @@ func (r *Recorder) Summary() *Summary {
 			for i, w := range ep.RuleWins {
 				cp.RuleWins[i] = append([]uint64(nil), w...)
 			}
+		}
+		if ep.BusBusy != nil {
+			cp.BusBusy = append([]uint64(nil), ep.BusBusy...)
 		}
 		s.Ring = append(s.Ring, cp)
 	}

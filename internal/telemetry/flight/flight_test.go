@@ -187,3 +187,61 @@ func TestRecorderGeometryPanics(t *testing.T) {
 		}()
 	}
 }
+
+// TestRecorderBusBusyDeltas checks the bandwidth gauge: an attached bus
+// sampler yields per-epoch busy-cycle deltas and a trailing heatmap
+// column, while unattached recorders keep the historical export format.
+func TestRecorderBusBusyDeltas(t *testing.T) {
+	r := New(Options{EpochCycles: 10, MaxEpochs: 4})
+	r.Configure(2, 1)
+	cum := []uint64{0, 0}
+	for ch := 0; ch < 2; ch++ {
+		ch := ch
+		r.AttachBus(ch, func() uint64 { return cum[ch] })
+	}
+	cum = []uint64{6, 10}
+	r.Rotate(10)
+	cum = []uint64{9, 10}
+	r.Rotate(20)
+
+	eps := r.Epochs()
+	if got := eps[0].BusBusy; len(got) != 2 || got[0] != 6 || got[1] != 10 {
+		t.Fatalf("epoch 0 bus deltas = %v, want [6 10]", got)
+	}
+	if got := eps[1].BusBusy; got[0] != 3 || got[1] != 0 {
+		t.Fatalf("epoch 1 bus deltas = %v, want [3 0]", got)
+	}
+
+	var csv bytes.Buffer
+	if err := r.WriteCSV(&csv); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(csv.String()), "\n")
+	if !strings.HasSuffix(lines[0], ",bus_busy") {
+		t.Fatalf("attached recorder must export the bus_busy column: %q", lines[0])
+	}
+	// Channel 0's first-epoch row ends with its 6 busy cycles.
+	if !strings.HasSuffix(lines[1], ",6") {
+		t.Fatalf("bus_busy value missing from heatmap row: %q", lines[1])
+	}
+
+	// The summary's ring copies the deltas.
+	if got := r.Summary().Ring[0].BusBusy; len(got) != 2 || got[0] != 6 {
+		t.Fatalf("summary ring bus deltas = %v", got)
+	}
+
+	// Without a sampler the column (and epoch field) stays absent.
+	plain := New(Options{EpochCycles: 10})
+	plain.Configure(1, 1)
+	plain.Rotate(10)
+	if plain.Epochs()[0].BusBusy != nil {
+		t.Fatal("unattached recorder recorded bus deltas")
+	}
+	csv.Reset()
+	if err := plain.WriteCSV(&csv); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(csv.String(), "bus_busy") {
+		t.Fatalf("unattached recorder must keep the historical header: %q", csv.String())
+	}
+}

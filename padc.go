@@ -61,6 +61,7 @@ const (
 	Stride                  // PC-based stride
 	CDC                     // CZone/Delta-Correlation
 	Markov                  // correlation (Markov) prefetcher
+	DSPatch                 // dual-spatial-pattern prefetcher (bandwidth-adaptive bias)
 )
 
 // Filter optionally wraps the prefetcher with one of the §6.12 comparison
@@ -91,6 +92,12 @@ type SystemConfig struct {
 
 	APD     bool // adaptive prefetch dropping (with APS this forms PADC)
 	Urgency bool // priority rule 3 (boost demands of inaccurate cores)
+
+	// MemSide enables the DROPLET-style memory-side prefetch path: each
+	// memory controller generates same-row next-line candidates from the
+	// demand stream it admits and drains them into idle row-hit windows,
+	// gated and APD-aged by its tier's memory-side accuracy meter.
+	MemSide bool
 
 	Channels    int    // independent memory controllers
 	RowBufferKB uint64 // DRAM row-buffer size per bank
@@ -219,7 +226,9 @@ func (c SystemConfig) toSim() (sim.Config, error) {
 		Stride:       sim.PFStride,
 		CDC:          sim.PFCDC,
 		Markov:       sim.PFMarkov,
+		DSPatch:      sim.PFDSPatch,
 	}[c.Prefetcher]
+	cfg.MemSide = c.MemSide
 	cfg.Filter = map[Filter]sim.FilterKind{
 		NoFilter: sim.FilterNone,
 		DDPF:     sim.FilterDDPF,
@@ -379,6 +388,7 @@ type ResolvedConfig struct {
 	Urgency    bool   `json:"urgency"`
 	Prefetcher string `json:"prefetcher"`
 	Filter     string `json:"filter"`
+	MemSide    bool   `json:"memside,omitempty"`
 
 	DRAM        ResolvedDRAM     `json:"dram"`
 	Topology    ResolvedTopology `json:"topology"`
@@ -408,6 +418,7 @@ func (c SystemConfig) Describe() (ResolvedConfig, error) {
 		Urgency:     cfg.PADC.EnableUrgency,
 		Prefetcher:  cfg.Prefetcher.String(),
 		Filter:      cfg.Filter.String(),
+		MemSide:     cfg.MemSide,
 		DRAM: ResolvedDRAM{
 			Channels:    cfg.DRAM.Channels,
 			Banks:       cfg.DRAM.Banks,
@@ -505,6 +516,44 @@ type Result struct {
 	// blocking, and the tier-local PADC accuracy estimates APS/APD acted
 	// on.
 	Domains []DomainResult
+
+	// MemSide reports the memory-side prefetch pipeline, nil unless
+	// SystemConfig.MemSide enabled the path.
+	MemSide *MemSideResult
+
+	// DSPatch reports the dual-spatial prefetcher's bias trade-off, nil
+	// unless the dspatch prefetcher ran.
+	DSPatch *DSPatchResult
+}
+
+// MemSideResult is the memory-side prefetch pipeline over every
+// controller: candidate flow, drop partition, and the issued requests'
+// cache outcomes.
+type MemSideResult struct {
+	Generated       uint64
+	Enqueued        uint64
+	Issued          uint64
+	Filtered        uint64
+	DroppedOverflow uint64
+	DroppedStale    uint64
+	DroppedPressure uint64
+	GateClosed      uint64
+	Serviced        uint64
+	Used            uint64
+	Dropped         uint64
+	Accuracy        float64 // used / (serviced + APD-dropped)
+}
+
+// DSPatchResult is the dual-spatial prefetcher's coverage/accuracy bias
+// summary: trigger selections per pattern, each pattern's measured bit
+// accuracy, and the final bandwidth-headroom sample.
+type DSPatchResult struct {
+	Issued       uint64
+	CovPSelected uint64
+	AccPSelected uint64
+	CovAccuracy  float64
+	AccAccuracy  float64
+	Headroom     float64
 }
 
 // DomainResult is one memory domain's slice of the run.
@@ -588,6 +637,22 @@ func lower(res stats.Results) Result {
 			PrefAccuracy:   d.ACC(),
 			CoreAccuracy:   append([]float64(nil), d.Accuracy...),
 		})
+	}
+	if ms := res.MemSide; ms != nil {
+		out.MemSide = &MemSideResult{
+			Generated: ms.Generated, Enqueued: ms.Enqueued, Issued: ms.Issued,
+			Filtered: ms.Filtered, DroppedOverflow: ms.DroppedOverflow,
+			DroppedStale: ms.DroppedStale, DroppedPressure: ms.DroppedPressure,
+			GateClosed: ms.GateClosed,
+			Serviced:   ms.Serviced, Used: ms.Used, Dropped: ms.Dropped,
+			Accuracy: ms.ACC(),
+		}
+	}
+	if ds := res.DSPatch; ds != nil {
+		out.DSPatch = &DSPatchResult{
+			Issued: ds.Issued, CovPSelected: ds.CovPSelected, AccPSelected: ds.AccPSelected,
+			CovAccuracy: ds.CovAccuracy, AccAccuracy: ds.AccAccuracy, Headroom: ds.Headroom,
+		}
 	}
 	for _, c := range res.PerCore {
 		out.Cores = append(out.Cores, CoreResult{

@@ -35,9 +35,11 @@ import (
 
 // targets are the benchmarks the snapshot tracks: the parallel sweep
 // engine (wall-clock scaling), the memory-controller scheduler hot path
-// (per-tick cost across policies and buffer depths), and the whole-system
+// (per-tick cost across policies and buffer depths), the whole-system
 // run loop under both kernels (the stepped/events pair pins the event
-// kernel's speedup on stall-heavy workloads).
+// kernel's speedup on stall-heavy workloads), and the prefetch subsystem
+// hot paths (DSPatch's per-access Observe and the memory-side candidate
+// list's train/take cycle, both on the controller tick path).
 var targets = []struct {
 	pkg   string
 	bench string
@@ -45,6 +47,8 @@ var targets = []struct {
 	{"./internal/runner", "^BenchmarkSweepParallel$"},
 	{"./internal/memctrl", "^BenchmarkControllerTick$"},
 	{"./internal/sim", "^BenchmarkSystemRun$"},
+	{"./internal/prefetch", "^BenchmarkDSPatch$"},
+	{"./internal/memctrl/memsidepf", "^BenchmarkMemSidePF$"},
 }
 
 type entry struct {
